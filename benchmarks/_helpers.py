@@ -1,0 +1,51 @@
+"""Shared table-printing and fitting helpers for the benchmark harness.
+
+Every benchmark prints the rows/series it reproduces (the paper has no
+numbered tables — each experiment regenerates a theorem's quantitative claim;
+see EXPERIMENTS.md) and also stores the key numbers in
+``benchmark.extra_info`` so they survive in pytest-benchmark's JSON output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Render a small fixed-width table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0)) + 2
+              for i, h in enumerate(headers)]
+    print("".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("".join(_fmt(cell).rjust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares exponent of ``y ~ x^alpha`` (slope in log-log space)."""
+    x = np.log(np.asarray(xs, dtype=float))
+    y = np.log(np.asarray(ys, dtype=float))
+    slope = np.polyfit(x, y, 1)[0]
+    return float(slope)
+
+
+def record(benchmark, **info) -> None:
+    """Store scalars in pytest-benchmark's extra_info (stringify numpy types)."""
+    if benchmark is None:
+        return
+    for key, value in info.items():
+        if isinstance(value, (np.floating, np.integer)):
+            value = float(value)
+        benchmark.extra_info[key] = value

@@ -1,0 +1,97 @@
+"""E10 — output accuracy: total-variation distance of every sampler vs ground truth.
+
+Paper claims: Theorems 10 and 11 sample *exactly* (conditioned on not
+failing); Theorems 8, 9 and 29 sample within ``ε`` total variation.  On small
+instances where the target distribution is enumerable, the benchmark measures
+the empirical TV distance of each parallel sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.entropic import EntropicSamplerConfig
+from repro.core.nonsymmetric import sample_nonsymmetric_kdpp_parallel
+from repro.core.partition import sample_partition_dpp_parallel
+from repro.core.symmetric import sample_symmetric_kdpp_parallel
+from repro.dpp.exact import (
+    exact_kdpp_distribution,
+    exact_partition_dpp_distribution,
+)
+from repro.planar.graphs import grid_graph
+from repro.planar.matching import enumerate_perfect_matchings
+from repro.planar.parallel_matching import sample_planar_matching_parallel
+from repro.workloads import clustered_ensemble, random_npsd_ensemble, random_psd_ensemble
+
+from _helpers import print_table, record
+
+NUM_SAMPLES = 1200
+
+
+def _empirical_tv(sample_fn, exact, num_samples, seed):
+    rng = np.random.default_rng(seed)
+    counts = {}
+    for _ in range(num_samples):
+        s = tuple(sorted(sample_fn(rng)))
+        counts[s] = counts.get(s, 0) + 1
+    support = set(exact.support) | set(counts)
+    tv = 0.0
+    for s in support:
+        p = exact.probability_vector([s])[0] if s in exact.support else 0.0
+        tv += abs(counts.get(s, 0) / num_samples - p)
+    return 0.5 * tv
+
+
+def test_e10_total_variation_all_samplers(benchmark):
+    rows = []
+    cfg = EntropicSamplerConfig(c=0.3, epsilon=0.05)
+
+    # Theorem 10: symmetric k-DPP (exact)
+    L = random_psd_ensemble(6, seed=0)
+    exact = exact_kdpp_distribution(L, 2)
+    tv_sym = _empirical_tv(lambda rng: sample_symmetric_kdpp_parallel(L, 2, seed=rng).subset,
+                           exact, NUM_SAMPLES, seed=1)
+    rows.append(["Theorem 10 (symmetric k-DPP)", "exact", f"{tv_sym:.3f}"])
+
+    # Theorem 8: nonsymmetric k-DPP (eps TV)
+    L_ns = random_npsd_ensemble(6, seed=2)
+    exact_ns = exact_kdpp_distribution(L_ns, 2)
+    tv_ns = _empirical_tv(
+        lambda rng: sample_nonsymmetric_kdpp_parallel(L_ns, 2, config=cfg, seed=rng).subset,
+        exact_ns, NUM_SAMPLES, seed=3)
+    rows.append(["Theorem 8 (nonsymmetric k-DPP)", f"TV <= {cfg.epsilon}", f"{tv_ns:.3f}"])
+
+    # Theorem 9: Partition-DPP (eps TV)
+    L_p, parts = clustered_ensemble([4, 4], seed=4)
+    exact_p = exact_partition_dpp_distribution(L_p, parts, [1, 1])
+    tv_p = _empirical_tv(
+        lambda rng: sample_partition_dpp_parallel(L_p, parts, [1, 1], config=cfg, seed=rng).subset,
+        exact_p, NUM_SAMPLES, seed=5)
+    rows.append(["Theorem 9 (Partition-DPP)", f"TV <= {cfg.epsilon}", f"{tv_p:.3f}"])
+
+    # Theorem 11: planar matchings (exact, uniform)
+    g = grid_graph(2, 4)
+    matchings = enumerate_perfect_matchings(g)
+    target = 1.0 / len(matchings)
+    rng = np.random.default_rng(6)
+    counts = {m: 0 for m in matchings}
+    for _ in range(NUM_SAMPLES):
+        result = sample_planar_matching_parallel(g, seed=rng)
+        key = tuple(sorted(result.subset, key=lambda e: sorted(map(repr, e))))
+        counts[key] += 1
+    tv_planar = 0.5 * sum(abs(c / NUM_SAMPLES - target) for c in counts.values())
+    rows.append(["Theorem 11 (planar matchings)", "exact (uniform)", f"{tv_planar:.3f}"])
+
+    print_table(
+        f"E10: empirical total variation vs exact target ({NUM_SAMPLES} samples each)",
+        ["sampler", "paper guarantee", "empirical TV"],
+        rows,
+    )
+    print("The residual TV is dominated by Monte Carlo noise (~sqrt(|support|/samples));")
+    print("exact samplers and eps-approximate samplers both sit at the noise floor.")
+
+    record(benchmark, tv_symmetric=tv_sym, tv_nonsymmetric=tv_ns,
+           tv_partition=tv_p, tv_planar=tv_planar)
+    benchmark.pedantic(lambda: sample_symmetric_kdpp_parallel(L, 2, seed=7), rounds=3, iterations=1)
+    noise_floor = 0.12
+    assert max(tv_sym, tv_ns, tv_p, tv_planar) < noise_floor

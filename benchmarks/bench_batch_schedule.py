@@ -1,0 +1,59 @@
+"""E3 — Proposition 28: the Algorithm 1 batch schedule.
+
+Paper claim: with ``ℓ_i = ⌈√k_i⌉`` the loop terminates in at most ``2√k``
+iterations, and ``√k_{i+1} ≤ √k_i − 1/2``.  The benchmark traces the schedule
+for a wide range of ``k`` and reports the iteration count relative to ``2√k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.batched import batch_schedule
+
+from _helpers import print_table, record
+
+
+K_SWEEP = (16, 256, 4096, 65536, 1048576)
+
+
+def test_e3_batch_schedule_length(benchmark):
+    rows = []
+    ratios = []
+    for k in K_SWEEP:
+        schedule = benchmark.pedantic(batch_schedule, args=(k,), rounds=1, iterations=1) \
+            if k == K_SWEEP[-1] else batch_schedule(k)
+        iterations = len(schedule)
+        bound = 2 * math.sqrt(k)
+        ratios.append(iterations / bound)
+        rows.append([k, iterations, f"{bound:.0f}", f"{iterations / bound:.3f}",
+                     schedule[0], schedule[-1]])
+
+    print_table(
+        "E3 (Proposition 28): Algorithm 1 iteration count vs the 2*sqrt(k) bound",
+        ["k", "iterations", "2*sqrt(k)", "ratio", "first batch", "last batch"],
+        rows,
+    )
+    print("Proposition 28 guarantees ratio <= 1; the measured ratio is "
+          f"{max(ratios):.3f} at worst (the schedule is ~sqrt(k) iterations, half the bound).")
+
+    record(benchmark, worst_ratio=max(ratios))
+    assert max(ratios) <= 1.0
+
+
+def test_e3_remaining_cardinality_decay(benchmark):
+    """Verify the per-iteration contraction sqrt(k_{i+1}) <= sqrt(k_i) - 1/2."""
+    k = 10_000
+    remaining = [k]
+    while remaining[-1] > 0:
+        ell = math.ceil(math.sqrt(remaining[-1]))
+        remaining.append(remaining[-1] - ell)
+    violations = sum(
+        1 for a, b in zip(remaining, remaining[1:])
+        if b > 0 and math.sqrt(b) > math.sqrt(a) - 0.5 + 1e-12
+    )
+    print(f"\nE3b: contraction sqrt(k_i+1) <= sqrt(k_i) - 1/2 held in "
+          f"{len(remaining) - 1 - violations}/{len(remaining) - 1} iterations (k0={k}).")
+    record(benchmark, contraction_violations=violations, iterations=len(remaining) - 1)
+    benchmark.pedantic(batch_schedule, args=(k,), rounds=3, iterations=1)
+    assert violations == 0

@@ -1,0 +1,81 @@
+"""E12 — Definition 30 / Proposition 32: the isotropic subdivision transform.
+
+Paper claims: for subdivision parameter β, (1) lifted marginals obey
+``k/(C|U|) ≤ P[copy ∈ S] ≤ C k/|U|`` with ``C = 1 + √β`` (the lower bound on
+the well-represented set R), (2) the lifted ground set has size at most
+``n(1 + 1/β)``, and (3) the mass of ℓ-subsets avoiding R is at least
+``1 - √β ℓ``.  The benchmark measures all three on DPP workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.isotropic import IsotropicTransform
+from repro.dpp.exact import exact_kdpp_distribution
+from repro.workloads import random_psd_ensemble
+
+from _helpers import print_table, record
+
+
+def test_e12_marginal_and_size_bounds(benchmark):
+    L = random_psd_ensemble(10, seed=0)
+    k = 3
+    exact = exact_kdpp_distribution(L, k)
+    marginals = exact.marginal_vector()
+
+    rows = []
+    stats = {}
+    for beta in (0.5, 0.25, 0.1, 0.05):
+        transform = IsotropicTransform(marginals, k=k, beta=beta)
+        C, lower, upper = transform.marginal_bounds()
+        lifted = transform.lifted_marginals()
+        mask = transform.well_represented()
+        _, size_bound = transform.ground_set_bounds()
+        upper_ok = bool(np.all(lifted <= upper + 1e-12))
+        lower_ok = bool(np.all(lifted[mask] >= lower - 1e-12))
+        stats[beta] = (upper_ok, lower_ok)
+        rows.append([beta, transform.size, f"{size_bound:.0f}",
+                     f"{lifted.max():.4f}", f"{upper:.4f}",
+                     f"{lifted[mask].min():.4f}" if mask.any() else "n/a", f"{lower:.4f}",
+                     "yes" if (upper_ok and lower_ok) else "NO"])
+
+    print_table(
+        "E12 (Proposition 32): isotropic transform marginal bounds, n=10, k=3",
+        ["beta", "|U|", "n(1+1/beta) bound", "max lifted marginal", "C k/|U| bound",
+         "min marginal on R", "k/(C|U|) bound", "bounds hold"],
+        rows,
+    )
+    record(benchmark, all_bounds_hold=all(a and b for a, b in stats.values()))
+    benchmark.pedantic(lambda: IsotropicTransform(marginals, k=k, beta=0.1), rounds=5, iterations=1)
+    assert all(a and b for a, b in stats.values())
+
+
+def test_e12_mass_of_well_represented_subsets(benchmark):
+    """Proposition 32's final claim: mu_iso_ell places mass >= 1 - sqrt(beta) ell on R^ell."""
+    L = random_psd_ensemble(8, seed=1)
+    k = 3
+    exact = exact_kdpp_distribution(L, k)
+    marginals = exact.marginal_vector()
+
+    rows = []
+    for beta in (0.3, 0.1):
+        transform = IsotropicTransform(marginals, k=k, beta=beta)
+        lifted = transform.lift_explicit(exact)
+        mask = transform.well_represented()
+        good_copies = set(np.flatnonzero(mask))
+        for ell in (1, 2, 3):
+            down = lifted.down_project(ell)
+            mass = sum(w for s, w in down.items() if set(s) <= good_copies)
+            bound = 1.0 - np.sqrt(beta) * ell
+            rows.append([beta, ell, f"{mass:.4f}", f"{bound:.4f}",
+                         "yes" if mass >= bound - 1e-9 else "NO"])
+
+    print_table(
+        "E12b (Proposition 32.2): mass of subsets inside the well-represented set R",
+        ["beta", "ell", "measured mass", "1 - sqrt(beta) ell bound", "holds"],
+        rows,
+    )
+    record(benchmark, rows=len(rows))
+    benchmark.pedantic(lambda: transform.lift_explicit(exact), rounds=1, iterations=1)
+    assert all(row[-1] == "yes" for row in rows)

@@ -1,0 +1,72 @@
+"""E8 — Theorem 11: parallel sampling of planar perfect matchings.
+
+Paper claim: using planar separators, a uniform perfect matching of a planar
+graph can be sampled exactly in ``Õ(√n)`` parallel rounds versus ``Θ(n)``
+rounds for the sequential conditional sampler.  The benchmark sweeps grid
+sizes, reports rounds and separator sizes, and fits the depth exponent.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.planar.graphs import grid_graph
+from repro.planar.matching import sample_planar_matching_sequential
+from repro.planar.parallel_matching import sample_planar_matching_parallel
+
+from _helpers import fit_power_law, print_table, record
+
+
+def test_e8_planar_matching_depth(benchmark):
+    rows = []
+    ns, parallel_rounds = [], []
+    for side in (4, 6, 8, 10):
+        g = grid_graph(side, side)
+        par = sample_planar_matching_parallel(g, seed=0)
+        seq = sample_planar_matching_sequential(g, seed=0)
+        ns.append(g.n)
+        parallel_rounds.append(par.report.rounds)
+        rows.append([
+            f"{side}x{side}", g.n, f"{math.sqrt(g.n):.1f}",
+            int(par.report.extra.get("max_separator", 0)),
+            par.report.rounds, seq.report.rounds,
+            f"{seq.report.rounds / par.report.rounds:.2f}x",
+        ])
+
+    exponent = fit_power_law(ns, parallel_rounds)
+    print_table(
+        "E8 (Theorem 11): uniform perfect matchings of grid graphs",
+        ["grid", "n", "sqrt(n)", "max separator", "parallel rounds", "sequential rounds", "speedup"],
+        rows,
+    )
+    print(f"fitted depth exponent (rounds ~ n^a): a = {exponent:.2f}  "
+          "(paper: 1/2 for the separator recursion, 1 for sequential)")
+
+    record(benchmark, depth_exponent=exponent)
+    benchmark.pedantic(lambda: sample_planar_matching_parallel(grid_graph(8, 8), seed=1),
+                       rounds=1, iterations=1)
+    assert exponent < 0.85
+
+
+def test_e8_separator_size_scaling(benchmark):
+    """The separator component of the bound: |S| = O(sqrt n) on the grid workload."""
+    from repro.planar.separator import bfs_level_separator, separator_quality
+
+    rows = []
+    ratios = []
+    for side in (6, 10, 14, 18):
+        g = grid_graph(side, side)
+        separator, components = bfs_level_separator(g)
+        quality = separator_quality(g, separator, components)
+        ratios.append(quality["separator_over_sqrt_n"])
+        rows.append([f"{side}x{side}", g.n, len(separator),
+                     f"{quality['separator_over_sqrt_n']:.2f}", f"{quality['balance']:.2f}"])
+
+    print_table(
+        "E8b: planar separator size and balance on grids",
+        ["grid", "n", "|separator|", "|S|/sqrt(n)", "largest component / n"],
+        rows,
+    )
+    record(benchmark, worst_ratio=max(ratios))
+    benchmark.pedantic(lambda: bfs_level_separator(grid_graph(14, 14)), rounds=3, iterations=1)
+    assert max(ratios) <= 3.0

@@ -1,0 +1,72 @@
+"""E13 — wall-clock micro-benchmarks of the main samplers and oracles.
+
+Engineering sanity check (not a paper claim): pytest-benchmark timings of the
+parallel samplers, the sequential baselines, and the counting oracles on fixed
+mid-size workloads, so regressions in the implementation are visible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import sequential_sample
+from repro.core.symmetric import sample_symmetric_kdpp_parallel
+from repro.dpp.spectral import sample_kdpp_spectral
+from repro.dpp.symmetric import SymmetricKDPP
+from repro.planar.graphs import grid_graph
+from repro.planar.kasteleyn import log_count_perfect_matchings
+from repro.planar.parallel_matching import sample_planar_matching_parallel
+from repro.workloads import random_npsd_ensemble, random_psd_ensemble
+
+N = 64
+K = 16
+
+
+@pytest.fixture(scope="module")
+def psd_kernel():
+    return random_psd_ensemble(N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return grid_graph(8, 8)
+
+
+def test_wallclock_parallel_kdpp(benchmark, psd_kernel):
+    result = benchmark(lambda: sample_symmetric_kdpp_parallel(psd_kernel, K, seed=1))
+    assert len(result.subset) == K
+
+
+def test_wallclock_sequential_kdpp(benchmark, psd_kernel):
+    result = benchmark(lambda: sequential_sample(SymmetricKDPP(psd_kernel, K), seed=1))
+    assert len(result.subset) == K
+
+
+def test_wallclock_spectral_kdpp(benchmark, psd_kernel):
+    result = benchmark(lambda: sample_kdpp_spectral(psd_kernel, K, seed=1))
+    assert len(result) == K
+
+
+def test_wallclock_kdpp_marginals(benchmark, psd_kernel):
+    marginals = benchmark(lambda: SymmetricKDPP(psd_kernel, K).marginal_vector())
+    assert marginals.sum() == pytest.approx(K, rel=1e-5)
+
+
+def test_wallclock_kasteleyn_count(benchmark, grid):
+    value = benchmark(lambda: log_count_perfect_matchings(grid))
+    assert np.isfinite(value)
+
+
+def test_wallclock_parallel_planar_matching(benchmark, grid):
+    result = benchmark.pedantic(lambda: sample_planar_matching_parallel(grid, seed=2),
+                                rounds=2, iterations=1)
+    assert len(result.subset) == grid.n // 2
+
+
+def test_wallclock_nonsymmetric_marginals(benchmark):
+    from repro.dpp.nonsymmetric import NonsymmetricKDPP
+
+    L = random_npsd_ensemble(40, seed=3)
+    marginals = benchmark(lambda: NonsymmetricKDPP(L, 10).marginal_vector())
+    assert marginals.sum() == pytest.approx(10, rel=1e-4)

@@ -1,0 +1,20 @@
+"""Pytest configuration for the benchmark harness.
+
+Ensures the ``src`` layout is importable without installation and registers a
+session-scoped cache so expensive workloads (kernels, graphs) are built once.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(2023)

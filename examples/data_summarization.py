@@ -1,0 +1,75 @@
+"""Data summarization with DPPs (the paper's motivating application).
+
+Selects a diverse, high-quality subset of synthetic "documents" with a k-DPP
+whose ensemble matrix combines a quality score and an RBF similarity kernel,
+and compares topic coverage against independent (quality-weighted) sampling.
+
+Run:  python examples/data_summarization.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+import repro
+from repro.workloads.datasets import documents_to_ensemble, synthetic_documents
+
+
+def topic_coverage(documents, subset) -> int:
+    return len({documents[i].topic for i in subset})
+
+
+def same_topic_pairs(documents, subset) -> int:
+    """Number of redundant pairs in the summary (both documents on one topic)."""
+    from itertools import combinations
+
+    return sum(1 for a, b in combinations(subset, 2)
+               if documents[a].topic == documents[b].topic)
+
+
+def independent_baseline(documents, k, rng) -> tuple:
+    quality = np.array([d.quality for d in documents])
+    probs = quality / quality.sum()
+    return tuple(sorted(rng.choice(len(documents), size=k, replace=False, p=probs)))
+
+
+def main() -> None:
+    num_documents, num_topics, k = 40, 5, 8
+    documents = synthetic_documents(num_documents, num_topics=num_topics, dimension=10, seed=0)
+    # bandwidth on the order of the within-topic spread (≈ √(2·dimension)) so
+    # same-topic documents are strongly similar and cross-topic ones are not
+    L = documents_to_ensemble(documents, bandwidth=4.5)
+    rng = np.random.default_rng(1)
+
+    print(f"{num_documents} documents across {num_topics} topics; summary size k = {k}\n")
+
+    dpp_coverages, indep_coverages = [], []
+    dpp_redundancy, indep_redundancy = [], []
+    trials = 30
+    for trial in range(trials):
+        result = repro.sample_symmetric_kdpp_parallel(L, k, seed=rng)
+        baseline = independent_baseline(documents, k, rng)
+        dpp_coverages.append(topic_coverage(documents, result.subset))
+        indep_coverages.append(topic_coverage(documents, baseline))
+        dpp_redundancy.append(same_topic_pairs(documents, result.subset))
+        indep_redundancy.append(same_topic_pairs(documents, baseline))
+
+    result = repro.sample_symmetric_kdpp_parallel(L, k, seed=2)
+    print("One DPP summary (document ids):", result.subset)
+    print("Topics covered by it:          ",
+          sorted({documents[i].topic for i in result.subset}))
+    print("Parallel rounds used:          ", result.report.rounds)
+
+    print(f"\nAverages over {trials} trials (summary size {k}):")
+    print(f"  topics covered     — k-DPP: {np.mean(dpp_coverages):.2f} / {num_topics}, "
+          f"quality-weighted independent: {np.mean(indep_coverages):.2f} / {num_topics}")
+    print(f"  same-topic pairs   — k-DPP: {np.mean(dpp_redundancy):.2f}, "
+          f"quality-weighted independent: {np.mean(indep_redundancy):.2f}")
+    print("\nThe DPP's negative dependence suppresses redundant same-topic pairs in the")
+    print("summary relative to independent quality-weighted selection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""k-DPP landmark selection for Nyström kernel approximation.
+
+The paper cites randomized numerical linear algebra [DM21] and kernel
+approximation [LJS16] among DPP applications.  This example compares the
+Nyström approximation error of landmarks chosen by a k-DPP (sampled with the
+parallel Theorem 10 sampler) against uniformly random landmarks.
+
+Run:  python examples/nystrom_landmarks.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.workloads import rbf_kernel_ensemble
+
+
+def nystrom_error(K: np.ndarray, landmarks) -> float:
+    """Relative Frobenius error of the Nyström approximation built on ``landmarks``."""
+    idx = list(landmarks)
+    C = K[:, idx]
+    W = K[np.ix_(idx, idx)]
+    approx = C @ np.linalg.pinv(W) @ C.T
+    return float(np.linalg.norm(K - approx) / np.linalg.norm(K))
+
+
+def main() -> None:
+    n, k, trials = 80, 10, 20
+    # Use the RBF similarity itself as both the data kernel and the DPP ensemble.
+    K, features = rbf_kernel_ensemble(n, dimension=3, bandwidth=0.8,
+                                      quality=np.ones(n), seed=0)
+    rng = np.random.default_rng(1)
+
+    dpp_errors, uniform_errors = [], []
+    rounds = []
+    for _ in range(trials):
+        result = repro.sample_symmetric_kdpp_parallel(K, k, seed=rng)
+        dpp_errors.append(nystrom_error(K, result.subset))
+        rounds.append(result.report.rounds)
+        uniform = rng.choice(n, size=k, replace=False)
+        uniform_errors.append(nystrom_error(K, uniform))
+
+    print(f"Nyström approximation of an {n}x{n} RBF kernel with {k} landmarks "
+          f"({trials} trials)\n")
+    print(f"  k-DPP landmarks   : relative error {np.mean(dpp_errors):.4f} "
+          f"± {np.std(dpp_errors):.4f}")
+    print(f"  uniform landmarks : relative error {np.mean(uniform_errors):.4f} "
+          f"± {np.std(uniform_errors):.4f}")
+    print(f"\nParallel sampler depth per draw: {np.mean(rounds):.1f} adaptive rounds "
+          f"(k = {k}, √k ≈ {np.sqrt(k):.1f})")
+    print("DPP landmarks repel each other in feature space, covering the kernel's")
+    print("range more evenly than uniform sampling and lowering the Nyström error.")
+
+
+if __name__ == "__main__":
+    main()

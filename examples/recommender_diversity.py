@@ -1,0 +1,61 @@
+"""Diversified recommendations with Partition-DPPs (Theorem 9) and
+nonsymmetric DPPs (Theorem 8).
+
+A synthetic catalog is grouped into categories; a Partition-DPP enforces an
+exact per-category quota while still favouring diverse, popular items, and a
+nonsymmetric k-DPP shows the positive-correlation modelling the paper cites as
+the motivation for going beyond symmetric kernels.
+
+Run:  python examples/recommender_diversity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.entropic import EntropicSamplerConfig
+from repro.workloads import random_npsd_ensemble
+from repro.workloads.datasets import catalog_to_ensemble, synthetic_catalog
+
+
+def main() -> None:
+    items = synthetic_catalog(30, num_categories=3, dimension=6, seed=0)
+    L, parts = catalog_to_ensemble(items, bandwidth=2.0)
+    quotas = [2, 2, 1]
+
+    print(f"Catalog of {len(items)} items in {len(parts)} categories; "
+          f"recommendation quotas per category: {quotas}\n")
+
+    config = EntropicSamplerConfig(c=0.3, epsilon=0.05)
+    result = repro.sample_partition_dpp_parallel(L, parts, quotas, config=config, seed=1)
+    print("== Partition-DPP slate (Theorem 9) ==")
+    print("selected items:", result.subset)
+    by_category = {c: [i for i in result.subset if items[i].category == c] for c in range(3)}
+    for category, selected in by_category.items():
+        print(f"  category {category}: {selected}")
+    print("adaptive rounds:", result.report.rounds)
+    print("ratio violations (bad set of Algorithm 3):", result.report.ratio_violations)
+
+    # Nonsymmetric DPP: complementary items can be positively correlated.
+    print("\n== Nonsymmetric k-DPP slate (Theorem 8) ==")
+    n = len(items)
+    L_nonsym = random_npsd_ensemble(n, symmetric_scale=1.0, skew_scale=0.6, seed=2)
+    ns_result = repro.sample_nonsymmetric_kdpp_parallel(L_nonsym, 5, config=config, seed=3)
+    print("selected items:", ns_result.subset)
+    print("adaptive rounds:", ns_result.report.rounds)
+
+    # Depth comparison against the sequential reduction on the same target.
+    from repro.core.sequential import sequential_sample
+    from repro.dpp.partition import PartitionDPP
+
+    sequential = sequential_sample(PartitionDPP(L, parts, quotas), seed=4)
+    print("\nSequential baseline rounds:", sequential.report.rounds,
+          "vs parallel:", result.report.rounds)
+    print("(At slate sizes this small the batches of Theorem 9 contain only a couple")
+    print(" of items; the √k advantage becomes visible at larger k — see")
+    print(" examples/parallel_speedup_study.py and benchmarks/bench_theorem9_partition.py.)")
+
+
+if __name__ == "__main__":
+    main()

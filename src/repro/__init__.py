@@ -1,0 +1,74 @@
+"""repro — reproduction of "Quadratic Speedups in Parallel Sampling from
+Determinantal Distributions" (Anari, Burgess, Tian, Vuong; SPAA 2023).
+
+Public API highlights
+---------------------
+
+Parallel samplers (the paper's contribution):
+
+* :func:`repro.core.sample_symmetric_kdpp_parallel` /
+  :func:`repro.core.sample_symmetric_dpp_parallel` — Theorem 10, exact,
+  ``Õ(√k)`` depth.
+* :func:`repro.core.sample_entropic_parallel` — Theorem 29 meta-sampler.
+* :func:`repro.core.sample_nonsymmetric_kdpp_parallel` /
+  :func:`repro.core.sample_nonsymmetric_dpp_parallel` — Theorem 8.
+* :func:`repro.core.sample_partition_dpp_parallel` — Theorem 9.
+* :func:`repro.core.sample_bounded_dpp_filtering` — Theorem 41 / Algorithm 4.
+* :func:`repro.planar.sample_planar_matching_parallel` — Theorem 11.
+
+Baselines: :func:`repro.core.sequential_sample` (JVV reduction),
+:func:`repro.dpp.sample_dpp_spectral` / :func:`repro.dpp.sample_kdpp_spectral`
+(HKPV), :func:`repro.planar.sample_planar_matching_sequential`.
+
+Substrates: :mod:`repro.dpp` (kernels, counting oracles),
+:mod:`repro.planar` (Kasteleyn counting, separators), :mod:`repro.linalg`
+(NC-style linear algebra), :mod:`repro.pram` (depth/work accounting),
+:mod:`repro.distributions` (divergences, entropic independence, isotropic
+transform, hard instance), :mod:`repro.workloads` (synthetic workloads).
+"""
+
+from repro import core, distributions, dpp, linalg, planar, pram, utils, workloads
+from repro.core import (
+    SampleResult,
+    SamplerReport,
+    sample_symmetric_kdpp_parallel,
+    sample_symmetric_dpp_parallel,
+    sample_entropic_parallel,
+    sample_nonsymmetric_kdpp_parallel,
+    sample_nonsymmetric_dpp_parallel,
+    sample_partition_dpp_parallel,
+    sample_bounded_dpp_filtering,
+    sequential_sample,
+)
+from repro.planar import (
+    sample_planar_matching_parallel,
+    sample_planar_matching_sequential,
+)
+from repro.pram import Tracker
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "distributions",
+    "dpp",
+    "linalg",
+    "planar",
+    "pram",
+    "utils",
+    "workloads",
+    "SampleResult",
+    "SamplerReport",
+    "Tracker",
+    "sample_symmetric_kdpp_parallel",
+    "sample_symmetric_dpp_parallel",
+    "sample_entropic_parallel",
+    "sample_nonsymmetric_kdpp_parallel",
+    "sample_nonsymmetric_dpp_parallel",
+    "sample_partition_dpp_parallel",
+    "sample_bounded_dpp_filtering",
+    "sequential_sample",
+    "sample_planar_matching_parallel",
+    "sample_planar_matching_sequential",
+    "__version__",
+]

@@ -1,0 +1,57 @@
+"""Abstract subset distributions, diagnostics, and transformations.
+
+This package defines the interfaces every concrete distribution (DPP variants,
+planar matchings, synthetic hard instances) implements, plus the
+information-theoretic machinery of the paper: the down operator
+``D_{k→ℓ}`` (Definition 20), KL/Rényi divergences (Section 3.1), entropic
+independence and fractional log-concavity checkers (Definitions 19/22),
+negative correlation checks (Lemma 16), the isotropic subdivision transform
+(Definition 30), and the Section 7 hard instance.
+"""
+
+from repro.distributions.base import SubsetDistribution, HomogeneousDistribution
+from repro.distributions.generic import (
+    ExplicitDistribution,
+    ProductMarginalProposal,
+    uniform_distribution_on_size_k,
+)
+from repro.distributions.down_operator import down_operator_matrix, down_project
+from repro.distributions.divergences import (
+    kl_divergence,
+    renyi_divergence_exp,
+    total_variation,
+    lemma12_bound,
+)
+from repro.distributions.entropic import (
+    entropic_independence_constant,
+    is_entropically_independent,
+    is_fractionally_log_concave,
+)
+from repro.distributions.negative_corr import (
+    is_negatively_correlated,
+    negative_correlation_violations,
+)
+from repro.distributions.isotropic import IsotropicTransform
+from repro.distributions.hard_instance import PairedHardInstance, duplicate_count
+
+__all__ = [
+    "SubsetDistribution",
+    "HomogeneousDistribution",
+    "ExplicitDistribution",
+    "ProductMarginalProposal",
+    "uniform_distribution_on_size_k",
+    "down_operator_matrix",
+    "down_project",
+    "kl_divergence",
+    "renyi_divergence_exp",
+    "total_variation",
+    "lemma12_bound",
+    "entropic_independence_constant",
+    "is_entropically_independent",
+    "is_fractionally_log_concave",
+    "is_negatively_correlated",
+    "negative_correlation_violations",
+    "IsotropicTransform",
+    "PairedHardInstance",
+    "duplicate_count",
+]

@@ -1,0 +1,108 @@
+"""Divergences between discrete distributions (Section 3.1 of the paper).
+
+* ``D_KL(q || p) = Σ q_i log(q_i / p_i)``
+* ``D_q(q || p) = Σ q_i^a p_i^{1-a}`` — the paper's (exponentiated) Rényi
+  divergence of order ``a`` (a constant multiple of ``exp((a-1) * Renyi_a)``).
+* :func:`lemma12_bound` — the comparison inequality (Lemma 12) used in the
+  concentration argument of Section 5.3, together with its restricted-sum
+  variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+def _normalize(vector: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(vector, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(arr < -1e-15):
+        raise ValueError(f"{name} has negative entries")
+    arr = np.clip(arr, 0.0, None)
+    total = arr.sum()
+    if total <= 0:
+        raise ValueError(f"{name} has zero total mass")
+    return arr / total
+
+
+def kl_divergence(q: Sequence[float], p: Sequence[float]) -> float:
+    """``D_KL(q || p)`` in nats; ``+inf`` if ``q`` puts mass where ``p`` does not."""
+    q_arr = _normalize(q, "q")
+    p_arr = _normalize(p, "p")
+    if q_arr.size != p_arr.size:
+        raise ValueError("q and p must have the same length")
+    mask = q_arr > 0
+    if np.any(p_arr[mask] <= 0):
+        return float("inf")
+    return float(np.sum(q_arr[mask] * np.log(q_arr[mask] / p_arr[mask])))
+
+
+def renyi_divergence_exp(q: Sequence[float], p: Sequence[float], order: float) -> float:
+    """The paper's ``D_a(q || p) = Σ_i q_i^a p_i^{1-a}`` for ``a >= 1``.
+
+    Note this is the *exponential* of the standard Rényi divergence (up to a
+    constant factor), matching the definition in Section 3.1.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    q_arr = _normalize(q, "q")
+    p_arr = _normalize(p, "p")
+    if q_arr.size != p_arr.size:
+        raise ValueError("q and p must have the same length")
+    if order == 1.0:
+        return 1.0
+    mask = q_arr > 0
+    if np.any(p_arr[mask] <= 0):
+        return float("inf")
+    return float(np.sum(q_arr[mask] ** order * p_arr[mask] ** (1.0 - order)))
+
+
+def total_variation(q: Sequence[float], p: Sequence[float]) -> float:
+    """Total variation distance ``(1/2) Σ |q_i - p_i|`` between normalized vectors."""
+    q_arr = _normalize(q, "q")
+    p_arr = _normalize(p, "p")
+    if q_arr.size != p_arr.size:
+        raise ValueError("q and p must have the same length")
+    return float(0.5 * np.abs(q_arr - p_arr).sum())
+
+
+def lemma12_bound(q: Sequence[float], p: Sequence[float], order: float, C: float,
+                  restrict_to: Optional[Iterable[int]] = None) -> float:
+    """Right-hand side of Lemma 12.
+
+    For distributions ``q, p`` over ``[n]`` with ``p_i <= C/n`` for all ``i``
+    (and ``p_i >= 1/(C n)`` on the restricted index set), Lemma 12 states
+
+    ``Σ_{i in S} q_i (q_i/p_i)^{a-1}
+        <= C^{a-1} (1 + n^{a-1} a (a-1) (D_KL(q||p) + log C))``.
+
+    This helper returns the bound's value; tests verify the inequality against
+    the directly computed left-hand side.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if C < 1:
+        raise ValueError("C must be >= 1")
+    q_arr = _normalize(q, "q")
+    n = q_arr.size
+    kl = kl_divergence(q, p)
+    return float(C ** (order - 1) * (1.0 + n ** (order - 1) * order * (order - 1) * (kl + np.log(C))))
+
+
+def lemma12_lhs(q: Sequence[float], p: Sequence[float], order: float,
+                restrict_to: Optional[Iterable[int]] = None) -> float:
+    """Left-hand side of Lemma 12: ``Σ_{i in S} q_i (q_i / p_i)^{a-1}``."""
+    q_arr = _normalize(q, "q")
+    p_arr = _normalize(p, "p")
+    idx = np.arange(q_arr.size) if restrict_to is None else np.asarray(sorted(restrict_to), dtype=int)
+    total = 0.0
+    for i in idx:
+        if q_arr[i] == 0:
+            continue
+        if p_arr[i] <= 0:
+            return float("inf")
+        total += q_arr[i] * (q_arr[i] / p_arr[i]) ** (order - 1.0)
+    return float(total)

@@ -1,0 +1,48 @@
+"""The down operator ``D_{k→ℓ}`` (Definition 20 of the paper).
+
+``D_{k→ℓ}`` is the row-stochastic matrix indexed by size-``k`` and size-``ℓ``
+subsets with ``D(S, T) = 1[T ⊆ S] / C(k, ℓ)``; applying it to a distribution
+``μ`` on size-``k`` sets produces the marginal distribution ``μ_ℓ`` on size-``ℓ``
+sets.  Explicit matrices are only built for small ground sets (tests); the
+projection itself is available for any :class:`ExplicitDistribution` via
+:meth:`~repro.distributions.generic.ExplicitDistribution.down_project`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.distributions.generic import ExplicitDistribution
+from repro.utils.subsets import Subset, all_subsets_of_size, binomial
+
+
+def down_operator_matrix(n: int, k: int, ell: int) -> Tuple[np.ndarray, List[Subset], List[Subset]]:
+    """Explicit ``D_{k→ℓ}`` matrix together with its row/column subset labels.
+
+    Returns
+    -------
+    (matrix, rows, cols):
+        ``matrix[i, j] = 1[cols[j] ⊆ rows[i]] / C(k, ℓ)`` where ``rows`` lists
+        size-``k`` subsets and ``cols`` lists size-``ℓ`` subsets, both in
+        lexicographic order.
+    """
+    if not 0 <= ell <= k <= n:
+        raise ValueError(f"need 0 <= ell <= k <= n, got ell={ell}, k={k}, n={n}")
+    rows = list(all_subsets_of_size(n, k))
+    cols = list(all_subsets_of_size(n, ell))
+    denom = binomial(k, ell)
+    matrix = np.zeros((len(rows), len(cols)), dtype=float)
+    col_index = {c: j for j, c in enumerate(cols)}
+    from itertools import combinations
+
+    for i, row in enumerate(rows):
+        for sub in combinations(row, ell):
+            matrix[i, col_index[sub]] = 1.0 / denom
+    return matrix, rows, cols
+
+
+def down_project(distribution: ExplicitDistribution, ell: int) -> ExplicitDistribution:
+    """``μ_ℓ = μ D_{k→ℓ}`` for an explicit fixed-cardinality distribution."""
+    return distribution.down_project(ell)

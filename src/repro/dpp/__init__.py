@@ -1,0 +1,64 @@
+"""Determinantal point process substrate.
+
+Implements the distribution classes of Definitions 3–7 of the paper together
+with their ``NC``-style counting oracles:
+
+* :class:`~repro.dpp.symmetric.SymmetricDPP` / ``SymmetricKDPP`` — PSD ensemble
+  matrices (Definition 3, 6).
+* :class:`~repro.dpp.nonsymmetric.NonsymmetricDPP` / ``NonsymmetricKDPP`` —
+  nPSD ensemble matrices (Definitions 4–6).
+* :class:`~repro.dpp.partition.PartitionDPP` — partition-constrained DPPs
+  (Definition 7) with the polynomial-interpolation counting oracle of
+  [Cel+16].
+* :mod:`repro.dpp.spectral` — the sequential HKPV spectral sampler (the
+  DPPy-style baseline).
+* :mod:`repro.dpp.exact` — brute-force enumeration for ground truth.
+"""
+
+from repro.dpp.kernels import (
+    ensemble_to_kernel,
+    kernel_to_ensemble,
+    validate_ensemble,
+    validate_kernel,
+    marginal_kernel_conditioned,
+)
+from repro.dpp.likelihood import (
+    dpp_unnormalized,
+    dpp_log_unnormalized,
+    sum_principal_minors,
+    batched_joint_marginals,
+)
+from repro.dpp.symmetric import SymmetricDPP, SymmetricKDPP
+from repro.dpp.nonsymmetric import NonsymmetricDPP, NonsymmetricKDPP
+from repro.dpp.partition import PartitionDPP
+from repro.dpp.spectral import (
+    sample_dpp_spectral,
+    sample_kdpp_spectral,
+    select_kdpp_eigenvectors,
+)
+from repro.dpp.elementary import dpp_size_distribution, kdpp_normalization
+from repro.dpp.exact import exact_dpp_distribution, exact_kdpp_distribution
+
+__all__ = [
+    "ensemble_to_kernel",
+    "kernel_to_ensemble",
+    "validate_ensemble",
+    "validate_kernel",
+    "marginal_kernel_conditioned",
+    "dpp_unnormalized",
+    "dpp_log_unnormalized",
+    "sum_principal_minors",
+    "batched_joint_marginals",
+    "SymmetricDPP",
+    "SymmetricKDPP",
+    "NonsymmetricDPP",
+    "NonsymmetricKDPP",
+    "PartitionDPP",
+    "sample_dpp_spectral",
+    "sample_kdpp_spectral",
+    "select_kdpp_eigenvectors",
+    "dpp_size_distribution",
+    "kdpp_normalization",
+    "exact_dpp_distribution",
+    "exact_kdpp_distribution",
+]

@@ -1,0 +1,81 @@
+"""Unnormalized DPP densities and batched joint marginals.
+
+* ``μ(S) = det(L_{S,S})`` — one principal minor per subset.
+* ``Σ_{|S| = j} det(L_{S,S})`` — the ``j``-th coefficient sum of principal
+  minors, read off the characteristic polynomial (works for nonsymmetric
+  matrices, whose eigenvalues may be complex but whose minor sums are real).
+* ``P[T ⊆ S] = det(K_{T,T})`` (symmetric or nonsymmetric kernels, [KT12a]) —
+  evaluated for many ``T`` at once in one batched-oracle round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.linalg.determinant import batched_principal_minors, principal_minor
+from repro.pram.tracker import current_tracker
+from repro.utils.validation import check_square
+
+
+def dpp_unnormalized(L: np.ndarray, subset: Iterable[int]) -> float:
+    """``det(L_{S,S})`` — the unnormalized DPP probability of ``subset``."""
+    return principal_minor(L, subset)
+
+
+def dpp_log_unnormalized(L: np.ndarray, subset: Iterable[int]) -> float:
+    """``log det(L_{S,S})``; returns ``-inf`` for nonpositive minors."""
+    a = check_square(L, "L")
+    idx = np.asarray(sorted(int(i) for i in subset), dtype=int)
+    if idx.size == 0:
+        return 0.0
+    sub = a[np.ix_(idx, idx)]
+    current_tracker().charge_determinant(idx.size)
+    sign, logabs = np.linalg.slogdet(sub)
+    if sign <= 0:
+        return -np.inf
+    return float(logabs)
+
+
+def sum_principal_minors(matrix: np.ndarray, order: int) -> float:
+    """``Σ_{|S| = order} det(M_{S,S})``.
+
+    Equal to the elementary symmetric polynomial of the eigenvalues of ``M``
+    (real even when the eigenvalues are complex, because it is a coefficient
+    of the real characteristic polynomial ``det(tI + M)``).
+    """
+    a = check_square(matrix, "matrix")
+    n = a.shape[0]
+    if order < 0 or order > n:
+        return 0.0
+    if order == 0:
+        return 1.0
+    current_tracker().charge_determinant(n)
+    eigenvalues = np.linalg.eigvals(a)
+    # coefficients of prod (t + lambda_i): coeff of t^{n-j} is e_j(lambda)
+    coeffs = np.poly(-eigenvalues)  # gives prod (t + lambda_i)
+    value = coeffs[order]
+    return float(np.real_if_close(value, tol=1e8).real)
+
+
+def all_principal_minor_sums(matrix: np.ndarray) -> np.ndarray:
+    """``[Σ_{|S|=j} det(M_S)]_{j=0..n}`` in one characteristic-polynomial call."""
+    a = check_square(matrix, "matrix")
+    n = a.shape[0]
+    current_tracker().charge_determinant(n)
+    if n == 0:
+        return np.array([1.0])
+    eigenvalues = np.linalg.eigvals(a)
+    coeffs = np.poly(-eigenvalues)
+    return np.real_if_close(coeffs, tol=1e8).real.astype(float)
+
+
+def batched_joint_marginals(K: np.ndarray, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+    """``P[T ⊆ S] = det(K_{T,T})`` for many subsets ``T`` of equal size.
+
+    One batched round of oracle queries; clips tiny negative values caused by
+    floating point to zero.
+    """
+    values = batched_principal_minors(K, subsets)
+    return np.clip(values, 0.0, None)

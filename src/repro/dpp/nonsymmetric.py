@@ -1,0 +1,196 @@
+"""Nonsymmetric DPPs and k-DPPs (Definitions 4–6).
+
+A nonsymmetric PSD (nPSD) ensemble matrix satisfies ``L + Lᵀ ⪰ 0``, which
+guarantees nonnegative principal minors [Gar+19, Lemma 1] so ``det(L_S)``
+defines a measure.  The determinant identities used for counting are purely
+algebraic and hold verbatim:
+
+* ``Σ_{S ⊇ T} det(L_S) = det(K_T) det(I + L)`` with ``K = L (I + L)^{-1}``;
+* ``Σ_{S ⊇ T, |S|=k} det(L_S) = det(L_T) · [Σ_{|S'|=k-|T|} det((L^T)_{S'})]``
+  where the inner sum is a coefficient of the characteristic polynomial of the
+  Schur complement ``L^T`` (real even when its eigenvalues are complex).
+
+Marginals no longer have a clean eigenvector formula, so the k-DPP marginal
+vector uses the exclusion identity
+``P[i ∈ S] = 1 - e_k(L_{-i}) / e_k(L)`` (delete row/column ``i``), evaluated
+for all ``i`` in one batched round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import HomogeneousDistribution, SubsetDistribution
+from repro.dpp.kernels import ensemble_to_kernel, validate_ensemble
+from repro.dpp.likelihood import all_principal_minor_sums, dpp_unnormalized, sum_principal_minors
+from repro.linalg.determinant import principal_minor
+from repro.linalg.schur import condition_ensemble
+from repro.pram.tracker import current_tracker
+from repro.utils.validation import check_positive_int, check_subset
+
+
+class NonsymmetricDPP(SubsetDistribution):
+    """Unconstrained nonsymmetric DPP ``P[Y] ∝ det(L_Y)`` with nPSD ``L``."""
+
+    def __init__(self, L: np.ndarray, *, validate: bool = True,
+                 labels: Optional[Sequence[int]] = None):
+        self.L = validate_ensemble(L, symmetric=False) if validate else np.asarray(L, dtype=float)
+        self.n = self.L.shape[0]
+        self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
+        self._kernel: Optional[np.ndarray] = None
+
+    @property
+    def ground_labels(self) -> Tuple[int, ...]:
+        return self._labels
+
+    @property
+    def kernel(self) -> np.ndarray:
+        """(Nonsymmetric) marginal kernel ``K = L (I + L)^{-1}``."""
+        if self._kernel is None:
+            self._kernel = ensemble_to_kernel(self.L)
+        return self._kernel
+
+    # ------------------------------------------------------------------ #
+    def unnormalized(self, subset: Iterable[int]) -> float:
+        items = check_subset(subset, self.n)
+        return max(dpp_unnormalized(self.L, items), 0.0)
+
+    def partition_function(self) -> float:
+        current_tracker().charge_determinant(self.n)
+        return float(np.linalg.det(np.eye(self.n) + self.L))
+
+    def counting(self, given: Iterable[int] = ()) -> float:
+        items = check_subset(given, self.n)
+        if not items:
+            return self.partition_function()
+        joint = principal_minor(self.kernel, items)
+        return max(joint, 0.0) * self.partition_function()
+
+    def joint_marginal(self, subset: Iterable[int]) -> float:
+        items = check_subset(subset, self.n)
+        if not items:
+            return 1.0
+        return float(np.clip(principal_minor(self.kernel, items), 0.0, 1.0))
+
+    def marginal_vector(self, given: Iterable[int] = ()) -> np.ndarray:
+        items = check_subset(given, self.n)
+        tracker = current_tracker()
+        with tracker.round("ndpp-marginals"):
+            if not items:
+                return np.clip(np.diag(self.kernel).copy(), 0.0, 1.0)
+            conditioned = self.condition(items)
+            marginals = np.ones(self.n, dtype=float)
+            remaining = [i for i in range(self.n) if i not in items]
+            marginals[remaining] = np.clip(np.diag(conditioned.kernel), 0.0, 1.0)
+        return marginals
+
+    def cardinality_distribution(self) -> np.ndarray:
+        sums = all_principal_minor_sums(self.L)
+        sums = np.clip(sums, 0.0, None)
+        total = sums.sum()
+        if total <= 0:
+            raise ValueError("ensemble matrix defines a zero measure")
+        return sums / total
+
+    # ------------------------------------------------------------------ #
+    def condition(self, include: Iterable[int]) -> "NonsymmetricDPP":
+        items = check_subset(include, self.n)
+        if not items:
+            return self
+        L_cond, remaining = condition_ensemble(self.L, items)
+        labels = tuple(self._labels[i] for i in remaining)
+        return NonsymmetricDPP(L_cond, validate=False, labels=labels)
+
+    def restrict_to_size(self, k: int) -> "NonsymmetricKDPP":
+        return NonsymmetricKDPP(self.L, k)
+
+
+class NonsymmetricKDPP(HomogeneousDistribution):
+    """Nonsymmetric k-DPP ``P[Y] ∝ det(L_Y) · 1[|Y| = k]`` with nPSD ``L``."""
+
+    def __init__(self, L: np.ndarray, k: int, *, validate: bool = True,
+                 labels: Optional[Sequence[int]] = None):
+        self.L = validate_ensemble(L, symmetric=False) if validate else np.asarray(L, dtype=float)
+        self.n = self.L.shape[0]
+        self.k = int(check_positive_int(k, "k", minimum=0)) if k else 0
+        if self.k > self.n:
+            raise ValueError(f"k={k} exceeds ground set size {self.n}")
+        self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
+        z = self.partition_function()
+        if z <= 0:
+            raise ValueError(f"nonsymmetric k-DPP with k={self.k} has zero partition function")
+
+    @property
+    def ground_labels(self) -> Tuple[int, ...]:
+        return self._labels
+
+    # ------------------------------------------------------------------ #
+    def unnormalized(self, subset: Iterable[int]) -> float:
+        items = check_subset(subset, self.n)
+        if len(items) != self.k:
+            return 0.0
+        return max(dpp_unnormalized(self.L, items), 0.0)
+
+    def partition_function(self) -> float:
+        return max(sum_principal_minors(self.L, self.k), 0.0)
+
+    def counting(self, given: Iterable[int] = ()) -> float:
+        items = check_subset(given, self.n)
+        t = len(items)
+        if t > self.k:
+            return 0.0
+        if t == 0:
+            return self.partition_function()
+        det_t = principal_minor(self.L, items)
+        if det_t <= 0:
+            return 0.0
+        if t == self.k:
+            return det_t
+        L_cond, _ = condition_ensemble(self.L, items)
+        return det_t * max(sum_principal_minors(L_cond, self.k - t), 0.0)
+
+    def marginal_vector(self, given: Iterable[int] = ()) -> np.ndarray:
+        """Exclusion identity ``P[i ∈ S | T] = 1 - e_{k'}(L^T_{-i}) / e_{k'}(L^T)``."""
+        items = check_subset(given, self.n)
+        tracker = current_tracker()
+        with tracker.round("nkdpp-marginals"):
+            target = self.condition(items) if items else self
+            kk = target.k
+            z = target.partition_function()
+            inner = np.zeros(target.n, dtype=float)
+            tracker.charge(machines=float(target.n))
+            for i in range(target.n):
+                keep = [j for j in range(target.n) if j != i]
+                reduced = target.L[np.ix_(keep, keep)]
+                excluded = max(sum_principal_minors(reduced, kk), 0.0)
+                inner[i] = 1.0 - min(excluded / z, 1.0)
+            marginals = np.ones(self.n, dtype=float)
+            if items:
+                remaining = [i for i in range(self.n) if i not in items]
+                marginals[remaining] = np.clip(inner, 0.0, 1.0)
+            else:
+                marginals = np.clip(inner, 0.0, 1.0)
+        return marginals
+
+    def joint_marginals_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        z = self.partition_function()
+        tracker = current_tracker()
+        values = np.empty(len(subsets), dtype=float)
+        with tracker.round("nkdpp-joint-marginals"):
+            tracker.charge(machines=float(len(subsets)))
+            for idx, subset in enumerate(subsets):
+                values[idx] = self.counting(subset) / z
+        return np.clip(values, 0.0, None)
+
+    # ------------------------------------------------------------------ #
+    def condition(self, include: Iterable[int]) -> "NonsymmetricKDPP":
+        items = check_subset(include, self.n)
+        if not items:
+            return self
+        if len(items) > self.k:
+            raise ValueError(f"cannot condition a {self.k}-DPP on {len(items)} inclusions")
+        L_cond, remaining = condition_ensemble(self.L, items)
+        labels = tuple(self._labels[i] for i in remaining)
+        return NonsymmetricKDPP(L_cond, self.k - len(items), validate=False, labels=labels)

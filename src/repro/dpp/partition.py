@@ -1,0 +1,197 @@
+"""Partition-constrained DPPs (Definition 7) with the [Cel+16] counting oracle.
+
+``μ(S) ∝ det(L_S) · ∏_i 1[|S ∩ V_i| = c_i]`` for a symmetric PSD ensemble
+matrix ``L``, a partition ``V_1 ∪ ... ∪ V_r = [n]`` with ``r = O(1)``, and
+target counts ``c_1, ..., c_r``.
+
+The counting oracle evaluates the ``r``-variate polynomial
+
+``g(z_1, ..., z_r) = det(I + L · diag(z_{part(e)})) = Σ_S det(L_S) ∏_i z_i^{|S∩V_i|}``
+
+on a tensor grid and reads off the coefficient of ``∏ z_i^{c_i}`` by solving
+Vandermonde systems (``NC``, [Cel+17]).  Conditioning on inclusion of ``T``
+maps to the Schur complement ``L^T`` together with reduced part sizes and
+counts (Section 3.2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import HomogeneousDistribution
+from repro.dpp.kernels import validate_ensemble
+from repro.dpp.likelihood import dpp_unnormalized
+from repro.linalg.determinant import principal_minor
+from repro.linalg.interpolation import multivariate_coefficients_from_evaluations
+from repro.linalg.schur import condition_ensemble
+from repro.pram.tracker import current_tracker
+from repro.utils.validation import check_subset
+
+
+class PartitionDPP(HomogeneousDistribution):
+    """Partition-constrained DPP (Definition 7).
+
+    Parameters
+    ----------
+    L:
+        Symmetric PSD ensemble matrix.
+    parts:
+        Sequence of ``r`` disjoint element lists covering ``[n]``.
+    counts:
+        Required intersection sizes ``c_i = |S ∩ V_i|``.
+    """
+
+    def __init__(self, L: np.ndarray, parts: Sequence[Sequence[int]], counts: Sequence[int],
+                 *, validate: bool = True, labels: Optional[Sequence[int]] = None):
+        self.L = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
+        self.n = self.L.shape[0]
+        self.parts: List[Tuple[int, ...]] = [tuple(sorted(int(i) for i in part)) for part in parts]
+        self.counts: Tuple[int, ...] = tuple(int(c) for c in counts)
+        if len(self.parts) != len(self.counts):
+            raise ValueError("parts and counts must have the same length")
+        if len(self.parts) == 0:
+            raise ValueError("at least one part is required")
+        covered = [i for part in self.parts for i in part]
+        if sorted(covered) != list(range(self.n)):
+            raise ValueError("parts must form a partition of the ground set")
+        for part, count in zip(self.parts, self.counts):
+            if count < 0 or count > len(part):
+                raise ValueError(f"count {count} infeasible for part of size {len(part)}")
+        self.r = len(self.parts)
+        self.k = int(sum(self.counts))
+        self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
+        # part index of each element
+        self._part_of = np.empty(self.n, dtype=int)
+        for idx, part in enumerate(self.parts):
+            for element in part:
+                self._part_of[element] = idx
+        if validate:
+            z = self.partition_function()
+            if z <= 0:
+                raise ValueError("partition constraints have zero probability under the DPP")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ground_labels(self) -> Tuple[int, ...]:
+        return self._labels
+
+    def part_of(self, element: int) -> int:
+        """Index of the part containing ``element``."""
+        return int(self._part_of[int(element)])
+
+    # ------------------------------------------------------------------ #
+    # densities
+    # ------------------------------------------------------------------ #
+    def _satisfies_constraints(self, subset: Tuple[int, ...]) -> bool:
+        tallies = [0] * self.r
+        for item in subset:
+            tallies[self._part_of[item]] += 1
+        return tuple(tallies) == self.counts
+
+    def unnormalized(self, subset: Iterable[int]) -> float:
+        items = check_subset(subset, self.n)
+        if len(items) != self.k or not self._satisfies_constraints(items):
+            return 0.0
+        return max(dpp_unnormalized(self.L, items), 0.0)
+
+    # ------------------------------------------------------------------ #
+    # counting oracle by multivariate interpolation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _constrained_count(L: np.ndarray, part_of: np.ndarray, part_sizes: Sequence[int],
+                           counts: Sequence[int]) -> float:
+        """Coefficient of ``∏ z_i^{c_i}`` in ``det(I + L diag(z_{part})``."""
+        n = L.shape[0]
+        if any(c < 0 for c in counts):
+            return 0.0
+        if any(c > s for c, s in zip(counts, part_sizes)):
+            return 0.0
+        if n == 0:
+            return 1.0 if all(c == 0 for c in counts) else 0.0
+        degrees = list(part_sizes)
+        eye = np.eye(n)
+
+        def evaluate(point: Sequence[float]) -> float:
+            weights = np.array([point[part_of[i]] for i in range(n)])
+            current_tracker().charge_determinant(n)
+            return float(np.linalg.det(eye + L * weights[np.newaxis, :]))
+
+        coeffs = multivariate_coefficients_from_evaluations(evaluate, degrees, node_scale=1.0)
+        value = float(coeffs[tuple(counts)])
+        return max(value, 0.0)
+
+    def partition_function(self) -> float:
+        part_sizes = [len(p) for p in self.parts]
+        return self._constrained_count(self.L, self._part_of, part_sizes, self.counts)
+
+    def counting(self, given: Iterable[int] = ()) -> float:
+        items = check_subset(given, self.n)
+        if not items:
+            return self.partition_function()
+        # Conditioning reduces to a Schur complement with reduced counts
+        # (paper, Section 3.2: Partition-DPP conditioning).
+        taken = [0] * self.r
+        for item in items:
+            taken[self._part_of[item]] += 1
+        reduced_counts = [c - t for c, t in zip(self.counts, taken)]
+        if any(c < 0 for c in reduced_counts):
+            return 0.0
+        det_t = principal_minor(self.L, items)
+        if det_t <= 0:
+            return 0.0
+        if len(items) == self.k:
+            return det_t
+        L_cond, remaining = condition_ensemble(self.L, items)
+        L_cond = 0.5 * (L_cond + L_cond.T)
+        part_of_reduced = np.array([self._part_of[i] for i in remaining], dtype=int)
+        part_sizes = [int(np.sum(part_of_reduced == idx)) for idx in range(self.r)]
+        inner = self._constrained_count(L_cond, part_of_reduced, part_sizes, reduced_counts)
+        return det_t * inner
+
+    def marginal_vector(self, given: Iterable[int] = ()) -> np.ndarray:
+        items = check_subset(given, self.n)
+        denom = self.counting(items)
+        if denom <= 0:
+            raise ValueError(f"conditioning event {items} has zero probability")
+        marginals = np.zeros(self.n, dtype=float)
+        tracker = current_tracker()
+        with tracker.round("partition-dpp-marginals"):
+            tracker.charge(machines=float(self.n))
+            for i in range(self.n):
+                if i in items:
+                    marginals[i] = 1.0
+                else:
+                    marginals[i] = self.counting(tuple(sorted(items + (i,)))) / denom
+        return np.clip(marginals, 0.0, 1.0)
+
+    def joint_marginals_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        z = self.partition_function()
+        tracker = current_tracker()
+        values = np.empty(len(subsets), dtype=float)
+        with tracker.round("partition-dpp-joint-marginals"):
+            tracker.charge(machines=float(len(subsets)))
+            for idx, subset in enumerate(subsets):
+                values[idx] = self.counting(subset) / z
+        return np.clip(values, 0.0, None)
+
+    # ------------------------------------------------------------------ #
+    def condition(self, include: Iterable[int]) -> "PartitionDPP":
+        items = check_subset(include, self.n)
+        if not items:
+            return self
+        taken = [0] * self.r
+        for item in items:
+            taken[self._part_of[item]] += 1
+        reduced_counts = [c - t for c, t in zip(self.counts, taken)]
+        if any(c < 0 for c in reduced_counts):
+            raise ValueError(f"conditioning on {items} violates the partition constraints")
+        L_cond, remaining = condition_ensemble(self.L, items)
+        L_cond = 0.5 * (L_cond + L_cond.T)
+        labels = tuple(self._labels[i] for i in remaining)
+        old_to_new = {old: new for new, old in enumerate(remaining)}
+        new_parts = []
+        for part in self.parts:
+            new_parts.append([old_to_new[i] for i in part if i in old_to_new])
+        return PartitionDPP(L_cond, new_parts, reduced_counts, validate=False, labels=labels)

@@ -1,0 +1,214 @@
+"""Symmetric DPPs and k-DPPs (Definitions 3 and 6).
+
+Both classes expose the counting-oracle / self-reducibility interface of
+:class:`repro.distributions.base.SubsetDistribution` with the determinant-based
+``NC`` oracles of Proposition 13:
+
+* ``SymmetricDPP``:  ``μ(S) ∝ det(L_S)``; counting oracle
+  ``Σ_{S ⊇ T} det(L_S) = det(K_T) · det(I + L)``.
+* ``SymmetricKDPP``: ``μ(S) ∝ det(L_S) · 1[|S| = k]``; counting oracle
+  ``Σ_{S ⊇ T, |S| = k} det(L_S) = det(L_T) · e_{k-|T|}(λ(L^T))``.
+
+Conditioning maps to Schur complements of the ensemble matrix (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distributions.base import HomogeneousDistribution, SubsetDistribution
+from repro.dpp.elementary import dpp_size_distribution, kdpp_marginals_spectral, kdpp_normalization
+from repro.dpp.kernels import ensemble_to_kernel, validate_ensemble
+from repro.dpp.likelihood import batched_joint_marginals, dpp_unnormalized
+from repro.linalg.determinant import principal_minor
+from repro.linalg.esp import elementary_symmetric_polynomials
+from repro.linalg.schur import condition_ensemble
+from repro.pram.tracker import current_tracker
+from repro.utils.validation import check_positive_int, check_subset
+
+
+class SymmetricDPP(SubsetDistribution):
+    """Unconstrained symmetric DPP ``P[Y] ∝ det(L_Y)`` with PSD ``L``."""
+
+    def __init__(self, L: np.ndarray, *, validate: bool = True,
+                 labels: Optional[Sequence[int]] = None):
+        self.L = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
+        self.n = self.L.shape[0]
+        self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
+        self._kernel: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ground_labels(self) -> Tuple[int, ...]:
+        return self._labels
+
+    @property
+    def kernel(self) -> np.ndarray:
+        """Marginal kernel ``K = L (I + L)^{-1}`` (cached)."""
+        if self._kernel is None:
+            self._kernel = ensemble_to_kernel(self.L)
+        return self._kernel
+
+    # ------------------------------------------------------------------ #
+    # counting oracle and densities
+    # ------------------------------------------------------------------ #
+    def unnormalized(self, subset: Iterable[int]) -> float:
+        items = check_subset(subset, self.n)
+        return max(dpp_unnormalized(self.L, items), 0.0)
+
+    def partition_function(self) -> float:
+        tracker = current_tracker()
+        tracker.charge_determinant(self.n)
+        return float(np.linalg.det(np.eye(self.n) + self.L))
+
+    def counting(self, given: Iterable[int] = ()) -> float:
+        items = check_subset(given, self.n)
+        if not items:
+            return self.partition_function()
+        joint = principal_minor(self.kernel, items)
+        return max(joint, 0.0) * self.partition_function()
+
+    def joint_marginal(self, subset: Iterable[int]) -> float:
+        items = check_subset(subset, self.n)
+        if not items:
+            return 1.0
+        return float(np.clip(principal_minor(self.kernel, items), 0.0, 1.0))
+
+    def joint_marginals_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """``P[T ⊆ Y]`` for many equal-size ``T`` in one batched round."""
+        return np.clip(batched_joint_marginals(self.kernel, subsets), 0.0, 1.0)
+
+    def marginal_vector(self, given: Iterable[int] = ()) -> np.ndarray:
+        items = check_subset(given, self.n)
+        tracker = current_tracker()
+        with tracker.round("dpp-marginals"):
+            if not items:
+                return np.clip(np.diag(self.kernel).copy(), 0.0, 1.0)
+            conditioned = self.condition(items)
+            marginals = np.ones(self.n, dtype=float)
+            inner = np.clip(np.diag(conditioned.kernel), 0.0, 1.0)
+            remaining = [i for i in range(self.n) if i not in items]
+            marginals[remaining] = inner
+        return marginals
+
+    def cardinality_distribution(self) -> np.ndarray:
+        return dpp_size_distribution(self.L)
+
+    # ------------------------------------------------------------------ #
+    def condition(self, include: Iterable[int]) -> "SymmetricDPP":
+        items = check_subset(include, self.n)
+        if not items:
+            return self
+        L_cond, remaining = condition_ensemble(self.L, items)
+        labels = tuple(self._labels[i] for i in remaining)
+        # The Schur complement of a PSD matrix is PSD up to floating point
+        # noise; skip re-validation to avoid spurious failures on tiny
+        # negative eigenvalues.
+        return SymmetricDPP(0.5 * (L_cond + L_cond.T), validate=False, labels=labels)
+
+    def restrict_to_size(self, k: int) -> "SymmetricKDPP":
+        """The k-DPP obtained by conditioning on ``|Y| = k`` (Definition 6)."""
+        return SymmetricKDPP(self.L, k)
+
+
+class SymmetricKDPP(HomogeneousDistribution):
+    """Symmetric k-DPP ``P[Y] ∝ det(L_Y) · 1[|Y| = k]`` with PSD ``L``."""
+
+    def __init__(self, L: np.ndarray, k: int, *, validate: bool = True,
+                 labels: Optional[Sequence[int]] = None):
+        self.L = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
+        self.n = self.L.shape[0]
+        self.k = check_positive_int(k, "k", minimum=0) if k else 0
+        if self.k > self.n:
+            raise ValueError(f"k={k} exceeds ground set size {self.n}")
+        self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
+        self._eigenvalues: Optional[np.ndarray] = None
+        if validate and self.k > 0:
+            eigs = self.eigenvalues
+            top = float(eigs.max(initial=0.0))
+            numerical_rank = int(np.sum(eigs > 1e-10 * max(top, 1.0)))
+            if numerical_rank < self.k:
+                raise ValueError(
+                    f"k-DPP with k={self.k} has zero mass: rank of L is {numerical_rank} < k"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ground_labels(self) -> Tuple[int, ...]:
+        return self._labels
+
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        if self._eigenvalues is None:
+            self._eigenvalues = np.clip(np.linalg.eigvalsh(0.5 * (self.L + self.L.T)), 0.0, None)
+        return self._eigenvalues
+
+    # ------------------------------------------------------------------ #
+    def unnormalized(self, subset: Iterable[int]) -> float:
+        items = check_subset(subset, self.n)
+        if len(items) != self.k:
+            return 0.0
+        return max(dpp_unnormalized(self.L, items), 0.0)
+
+    def partition_function(self) -> float:
+        current_tracker().charge_determinant(self.n)
+        esp = elementary_symmetric_polynomials(self.eigenvalues, max_order=self.k)
+        return float(esp[self.k])
+
+    def counting(self, given: Iterable[int] = ()) -> float:
+        """``Σ_{S ⊇ T, |S| = k} det(L_S) = det(L_T) · e_{k-|T|}(λ(L^T))``."""
+        items = check_subset(given, self.n)
+        t = len(items)
+        if t > self.k:
+            return 0.0
+        if t == 0:
+            return self.partition_function()
+        det_t = principal_minor(self.L, items)
+        if det_t <= 0:
+            return 0.0
+        if t == self.k:
+            return det_t
+        L_cond, _ = condition_ensemble(self.L, items)
+        sym = 0.5 * (L_cond + L_cond.T)
+        eigenvalues = np.clip(np.linalg.eigvalsh(sym), 0.0, None)
+        current_tracker().charge_determinant(self.n - t)
+        esp = elementary_symmetric_polynomials(eigenvalues, max_order=self.k - t)
+        return det_t * float(esp[self.k - t])
+
+    def marginal_vector(self, given: Iterable[int] = ()) -> np.ndarray:
+        items = check_subset(given, self.n)
+        tracker = current_tracker()
+        with tracker.round("kdpp-marginals"):
+            if not items:
+                return kdpp_marginals_spectral(self.L, self.k)
+            conditioned = self.condition(items)
+            marginals = np.ones(self.n, dtype=float)
+            remaining = [i for i in range(self.n) if i not in items]
+            inner = kdpp_marginals_spectral(conditioned.L, conditioned.k) if conditioned.k > 0 else np.zeros(len(remaining))
+            marginals[remaining] = inner
+        return marginals
+
+    def joint_marginals_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """``P[T ⊆ Y]`` for many equal-size ``T`` (one batched round of oracle calls)."""
+        z = self.partition_function()
+        tracker = current_tracker()
+        values = np.empty(len(subsets), dtype=float)
+        with tracker.round("kdpp-joint-marginals"):
+            tracker.charge(machines=float(len(subsets)))
+            for idx, subset in enumerate(subsets):
+                values[idx] = self.counting(subset) / z
+        return np.clip(values, 0.0, None)
+
+    # ------------------------------------------------------------------ #
+    def condition(self, include: Iterable[int]) -> "SymmetricKDPP":
+        items = check_subset(include, self.n)
+        if not items:
+            return self
+        if len(items) > self.k:
+            raise ValueError(f"cannot condition a {self.k}-DPP on {len(items)} inclusions")
+        L_cond, remaining = condition_ensemble(self.L, items)
+        labels = tuple(self._labels[i] for i in remaining)
+        return SymmetricKDPP(0.5 * (L_cond + L_cond.T), self.k - len(items),
+                             validate=False, labels=labels)

@@ -1,0 +1,54 @@
+"""NC-flavoured linear algebra substrate.
+
+The paper's counting oracles reduce to determinants, characteristic
+polynomials, and Schur complements — all computable in ``NC`` [Csa75, Ber84].
+This package implements those primitives with NumPy/SciPy (vectorized, batched
+where possible) and exposes depth/work-aware wrappers that charge the PRAM
+tracker.
+"""
+
+from repro.linalg.charpoly import faddeev_leverrier, char_poly_coefficients
+from repro.linalg.determinant import (
+    determinant,
+    log_determinant,
+    principal_minor,
+    batched_principal_minors,
+)
+from repro.linalg.schur import schur_complement, condition_ensemble, condition_kernel
+from repro.linalg.esp import elementary_symmetric_polynomials, esp_from_matrix
+from repro.linalg.interpolation import (
+    vandermonde_solve,
+    univariate_coefficients_from_evaluations,
+    multivariate_coefficients_from_evaluations,
+)
+from repro.linalg.psd import (
+    is_psd,
+    is_npsd,
+    project_psd,
+    random_orthogonal,
+    symmetrize,
+    psd_sqrt,
+)
+
+__all__ = [
+    "faddeev_leverrier",
+    "char_poly_coefficients",
+    "determinant",
+    "log_determinant",
+    "principal_minor",
+    "batched_principal_minors",
+    "schur_complement",
+    "condition_ensemble",
+    "condition_kernel",
+    "elementary_symmetric_polynomials",
+    "esp_from_matrix",
+    "vandermonde_solve",
+    "univariate_coefficients_from_evaluations",
+    "multivariate_coefficients_from_evaluations",
+    "is_psd",
+    "is_npsd",
+    "project_psd",
+    "random_orthogonal",
+    "symmetrize",
+    "psd_sqrt",
+]

@@ -1,0 +1,67 @@
+"""Characteristic polynomials in the spirit of Csanky / Faddeev–LeVerrier.
+
+Csanky [Csa75] showed determinants (and hence all our partition functions) are
+computable in ``NC``.  The textbook sequential analogue with the same
+algebraic structure is the Faddeev–LeVerrier recurrence, which computes the
+characteristic polynomial
+
+``det(tI - A) = t^n + c_{n-1} t^{n-1} + ... + c_0``
+
+using only matrix products and traces — exactly the primitives that
+parallelize to polylog depth.  We use it both as a reference implementation
+(cross-checked against ``numpy.poly`` in tests) and to extract elementary
+symmetric polynomials of eigenvalues for the k-DPP oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pram.tracker import current_tracker
+from repro.utils.validation import check_square
+
+
+def faddeev_leverrier(matrix: np.ndarray) -> np.ndarray:
+    """Coefficients of ``det(tI - A)`` by the Faddeev–LeVerrier recurrence.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array ``c`` of length ``n + 1`` with ``c[0] = 1`` (coefficient of
+        ``t^n``) down to ``c[n] = (-1)^n det(A)`` (constant coefficient), i.e.
+        the same convention as :func:`numpy.poly`.
+    """
+    a = check_square(matrix, "matrix")
+    n = a.shape[0]
+    tracker = current_tracker()
+    tracker.charge_determinant(n)
+
+    coeffs = np.empty(n + 1, dtype=float)
+    coeffs[0] = 1.0
+    m = np.zeros_like(a)
+    identity = np.eye(n)
+    for k in range(1, n + 1):
+        m = a @ m + coeffs[k - 1] * identity
+        coeffs[k] = -np.trace(a @ m) / k
+    return coeffs
+
+
+def char_poly_coefficients(matrix: np.ndarray) -> np.ndarray:
+    """Characteristic-polynomial coefficients, choosing the stabler backend.
+
+    For well-conditioned small matrices the Faddeev–LeVerrier recurrence is
+    exact in exact arithmetic but can lose digits for ``n`` beyond a few tens;
+    we therefore compute eigenvalues (Schur form via LAPACK — also an
+    ``NC``-parallelizable computation through the characteristic polynomial)
+    and expand the monic polynomial from its roots, which is numerically much
+    better behaved.  Tests cross-check both paths.
+    """
+    a = check_square(matrix, "matrix")
+    n = a.shape[0]
+    tracker = current_tracker()
+    tracker.charge_determinant(n)
+    if n == 0:
+        return np.array([1.0])
+    eigenvalues = np.linalg.eigvals(a)
+    coeffs = np.atleast_1d(np.poly(eigenvalues))
+    return np.real_if_close(coeffs, tol=1e6).astype(float)

@@ -1,0 +1,103 @@
+"""Polynomial interpolation via Vandermonde systems.
+
+The Partition-DPP counting oracle [Cel+16, Cel+17] evaluates the generating
+polynomial at grids of points (each evaluation is one determinant,
+``det(L + diag(z))``) and recovers the coefficients by solving (multi-
+dimensional) Vandermonde systems — linear algebra, hence ``NC``.  This module
+implements the univariate and tensor-product multivariate solves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.pram.tracker import current_tracker
+
+
+def vandermonde_solve(nodes: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Solve ``V c = values`` where ``V[i, j] = nodes[i] ** j``.
+
+    Returns the coefficient vector ``c`` (length ``len(nodes)``), i.e. the
+    unique polynomial of degree ``< len(nodes)`` interpolating the values.
+    """
+    x = np.asarray(nodes, dtype=float).ravel()
+    y = np.asarray(values, dtype=float).ravel()
+    if x.size != y.size:
+        raise ValueError("nodes and values must have equal length")
+    if np.unique(x).size != x.size:
+        raise ValueError("interpolation nodes must be distinct")
+    vander = np.vander(x, increasing=True)
+    current_tracker().charge(work=float(x.size) ** 3, machines=float(x.size))
+    return np.linalg.solve(vander, y)
+
+
+def univariate_coefficients_from_evaluations(evaluate: Callable[[float], float],
+                                             degree: int,
+                                             *, node_scale: float = 1.0) -> np.ndarray:
+    """Coefficients of a degree-``degree`` polynomial from point evaluations.
+
+    Uses Chebyshev-spaced nodes scaled by ``node_scale`` for conditioning; all
+    ``degree + 1`` evaluations are charged as one batched oracle round.
+    """
+    if degree < 0:
+        raise ValueError("degree must be nonnegative")
+    m = degree + 1
+    if m == 1:
+        return np.array([float(evaluate(0.0))])
+    # Chebyshev nodes mapped to [0, 2*node_scale]; strictly positive nodes keep
+    # det(L + z I) well conditioned for PSD L.
+    cheb = np.cos((2 * np.arange(m) + 1) * np.pi / (2 * m))
+    nodes = node_scale * (cheb + 1.0) + node_scale * 1e-3
+    tracker = current_tracker()
+    with tracker.round("interpolation-evaluations"):
+        values = np.array([evaluate(float(z)) for z in nodes])
+    return vandermonde_solve(nodes, values)
+
+
+def multivariate_coefficients_from_evaluations(evaluate: Callable[[Sequence[float]], float],
+                                               degrees: Sequence[int],
+                                               *, node_scale: float = 1.0) -> np.ndarray:
+    """Coefficients of a multivariate polynomial on a tensor-product grid.
+
+    ``degrees[i]`` is the maximum degree in variable ``i``; the result is an
+    array of shape ``tuple(d + 1 for d in degrees)`` with
+    ``coeffs[a_1, ..., a_r]`` the coefficient of ``∏ z_i^{a_i}``.
+
+    The number of variables is ``r = O(1)`` for Partition-DPPs, so the grid has
+    ``∏ (degrees[i] + 1) = poly(n)`` points; all evaluations form one batched
+    oracle round followed by ``r`` rounds of Vandermonde solves along each
+    axis (constant depth overall).
+    """
+    degs = [int(d) for d in degrees]
+    if any(d < 0 for d in degs):
+        raise ValueError("degrees must be nonnegative")
+    shapes = [d + 1 for d in degs]
+    node_sets = []
+    for m in shapes:
+        if m == 1:
+            node_sets.append(np.array([node_scale]))
+        else:
+            cheb = np.cos((2 * np.arange(m) + 1) * np.pi / (2 * m))
+            node_sets.append(node_scale * (cheb + 1.0) + node_scale * 1e-3)
+
+    grid_shape = tuple(shapes)
+    values = np.empty(grid_shape, dtype=float)
+    tracker = current_tracker()
+    with tracker.round("interpolation-evaluations"):
+        for multi_index in np.ndindex(*grid_shape):
+            point = [float(node_sets[axis][multi_index[axis]]) for axis in range(len(degs))]
+            values[multi_index] = evaluate(point)
+        tracker.charge(machines=float(values.size))
+
+    # Invert the tensor-product Vandermonde system one axis at a time.
+    coeffs = values
+    for axis, nodes in enumerate(node_sets):
+        vander = np.vander(nodes, increasing=True)
+        coeffs = np.moveaxis(coeffs, axis, 0)
+        flat = coeffs.reshape(coeffs.shape[0], -1)
+        solved = np.linalg.solve(vander, flat)
+        coeffs = np.moveaxis(solved.reshape(coeffs.shape), 0, axis)
+        tracker.charge(work=float(len(nodes)) ** 3, machines=float(flat.shape[1]))
+    return coeffs

@@ -1,0 +1,99 @@
+"""Planar separators.
+
+Theorem 11 needs, per recursion level, a vertex set ``S`` of size ``O(√n)``
+whose removal leaves connected components of size at most ``2n/3`` [GM87 in
+the paper; Lipton–Tarjan classically].  We implement the breadth-first-search
+*level separator*: run BFS from an arbitrary vertex and pick the level whose
+removal best balances the two sides.  For the bounded-degree, bounded-diameter
+workloads of the benchmarks (grid graphs, ladders, Delaunay triangulations)
+the chosen level has ``O(√n)`` vertices, which is all the depth-recursion
+analysis needs; :func:`separator_quality` reports both size and balance so the
+tests and the E8 benchmark can verify the assumption on every instance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.planar.graphs import PlanarGraph
+
+
+def _bfs_levels(graph: PlanarGraph, source) -> Dict:
+    levels = {source: 0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.graph.neighbors(u):
+            if v not in levels:
+                levels[v] = levels[u] + 1
+                queue.append(v)
+    return levels
+
+
+def bfs_level_separator(graph: PlanarGraph, *, balance_target: float = 2.0 / 3.0) -> Tuple[List, List[List]]:
+    """BFS-level separator of a connected graph.
+
+    Returns ``(separator_vertices, component_vertex_lists)`` where the
+    components are those of ``G - separator``.  The level is chosen to
+    minimize, lexicographically, (whether the largest side exceeds
+    ``balance_target * n``, largest side size, separator size).
+
+    For graphs of two or fewer vertices the separator is the whole vertex set.
+    """
+    n = graph.n
+    if n == 0:
+        return [], []
+    if not graph.is_connected():
+        raise ValueError("bfs_level_separator expects a connected graph")
+    vertices = graph.vertices()
+    if n <= 2:
+        return list(vertices), []
+
+    source = vertices[0]
+    levels = _bfs_levels(graph, source)
+    max_level = max(levels.values())
+    if max_level == 0:
+        return list(vertices), []
+
+    by_level: Dict[int, List] = {}
+    for vertex, level in levels.items():
+        by_level.setdefault(level, []).append(vertex)
+
+    counts = [len(by_level.get(level, [])) for level in range(max_level + 1)]
+    prefix = [0]
+    for c in counts:
+        prefix.append(prefix[-1] + c)
+
+    best = None
+    best_key = None
+    for level in range(max_level + 1):
+        below = prefix[level]
+        above = n - prefix[level + 1]
+        separator_size = counts[level]
+        largest = max(below, above)
+        unbalanced = 1 if largest > balance_target * n else 0
+        key = (unbalanced, largest, separator_size)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = level
+    separator = list(by_level[best])
+
+    remaining = graph.remove_vertices(separator)
+    components = [sorted(component, key=repr) for component in nx.connected_components(remaining.graph)]
+    return separator, components
+
+
+def separator_quality(graph: PlanarGraph, separator: Sequence, components: Sequence[Sequence]) -> Dict[str, float]:
+    """Diagnostics of a separator: size, normalized size, and balance."""
+    n = max(graph.n, 1)
+    largest = max((len(c) for c in components), default=0)
+    return {
+        "n": float(graph.n),
+        "separator_size": float(len(separator)),
+        "separator_over_sqrt_n": float(len(separator)) / max(n ** 0.5, 1.0),
+        "largest_component": float(largest),
+        "balance": float(largest) / n,
+    }

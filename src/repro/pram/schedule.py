@@ -1,0 +1,58 @@
+"""Simulated parallel scheduling helpers.
+
+These helpers execute Python callables sequentially on the host CPU while
+charging the PRAM tracker as if they had run concurrently:
+
+* :func:`parallel_map` — run ``fn`` over ``items`` as one batch of machines in
+  a single adaptive round.
+* :func:`parallel_branches` — run several independent *recursive* computations
+  (each with its own tracker) and merge their depth as a maximum, the way the
+  planar separator sampler of Theorem 11 recurses on disconnected components.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+from repro.pram.tracker import Tracker, current_tracker, use_tracker
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T], *, tracker: Tracker = None,
+                 label: str = "parallel_map") -> List[R]:
+    """Apply ``fn`` to every item, charging one adaptive round of depth.
+
+    The work charged is whatever ``fn`` itself charges through the current
+    tracker (e.g. determinant evaluations); the number of machines is at least
+    ``len(items)``.
+    """
+    trk = tracker if tracker is not None else current_tracker()
+    results: List[R] = []
+    with trk.round(label):
+        trk.charge(machines=float(len(items)))
+        for item in items:
+            results.append(fn(item))
+    return results
+
+
+def parallel_branches(branch_fns: Iterable[Callable[[], R]], *, tracker: Tracker = None,
+                      label: str = "parallel_branches") -> List[R]:
+    """Execute independent branches "in parallel".
+
+    Each branch runs with its own child tracker; afterwards the parent tracker
+    absorbs ``max`` of the branch depths and the sum of their work — exactly
+    the PRAM cost of running the branches concurrently on disjoint machine
+    pools.
+    """
+    trk = tracker if tracker is not None else current_tracker()
+    results: List[R] = []
+    children: List[Tracker] = []
+    for fn in branch_fns:
+        child = trk.spawn()
+        with use_tracker(child):
+            results.append(fn())
+        children.append(child)
+    trk.merge_parallel(children)
+    return results

@@ -1,0 +1,187 @@
+"""Depth/work tracker implementing the PRAM accounting.
+
+A :class:`Tracker` accumulates
+
+* ``rounds`` — the number of adaptive parallel rounds (the paper's "parallel
+  time" up to ``Õ(1)`` factors inside each round),
+* ``work`` — total operations across all simulated machines,
+* ``oracle_calls`` — number of counting-oracle queries issued,
+* ``peak_machines`` — the largest number of machines used in any single round.
+
+Samplers open rounds with :meth:`Tracker.round`; everything charged inside a
+``with tracker.round():`` block counts as one unit of parallel depth no matter
+how many independent queries it contains.  Nested rounds inside an open round
+do **not** add extra depth (they model the ``Õ(1)``-depth subroutines run by
+the machines of that round).
+
+A module-level *current tracker* (:func:`current_tracker`) lets low-level
+oracles charge costs without having a tracker threaded through every call
+signature; samplers install their tracker with :func:`use_tracker`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.pram.cost import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class RoundRecord:
+    """Summary of a single adaptive round (used for traces/tests)."""
+
+    label: str
+    work: float = 0.0
+    machines: float = 0.0
+    oracle_calls: int = 0
+
+
+class Tracker:
+    """Accumulates PRAM depth and work for one sampler execution."""
+
+    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL, *, record_rounds: bool = False):
+        self.cost_model = cost_model
+        self.rounds: int = 0
+        self.work: float = 0.0
+        self.oracle_calls: int = 0
+        self.peak_machines: float = 0.0
+        self._round_depth: int = 0
+        self._record_rounds = record_rounds
+        self.round_log: List[RoundRecord] = []
+        self._active_record: Optional[RoundRecord] = None
+
+    # ------------------------------------------------------------------ #
+    # round management
+    # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def round(self, label: str = "round") -> Iterator["Tracker"]:
+        """Open one adaptive round.
+
+        Charges exactly one unit of parallel depth at the outermost nesting
+        level; inner rounds are absorbed (they represent the ``Õ(1)``-depth
+        subroutines executed by the machines working in this round).
+        """
+        outermost = self._round_depth == 0
+        self._round_depth += 1
+        record = None
+        if outermost:
+            self.rounds += 1
+            if self._record_rounds:
+                record = RoundRecord(label=label)
+                self.round_log.append(record)
+                self._active_record = record
+        try:
+            yield self
+        finally:
+            self._round_depth -= 1
+            if outermost:
+                self._active_record = None
+
+    def add_rounds(self, count: int) -> None:
+        """Charge ``count`` rounds of depth directly (used when merging
+        recursive branches executed in parallel)."""
+        if count < 0:
+            raise ValueError("count must be nonnegative")
+        self.rounds += int(count)
+
+    # ------------------------------------------------------------------ #
+    # charging primitives
+    # ------------------------------------------------------------------ #
+    def charge(self, *, work: float = 0.0, machines: float = 0.0, oracle_calls: int = 0) -> None:
+        """Charge work/machines/oracle-calls to the current round."""
+        self.work += float(work)
+        self.oracle_calls += int(oracle_calls)
+        if machines > self.peak_machines:
+            self.peak_machines = float(machines)
+        if self._active_record is not None:
+            self._active_record.work += float(work)
+            self._active_record.oracle_calls += int(oracle_calls)
+            self._active_record.machines = max(self._active_record.machines, float(machines))
+
+    def charge_determinant(self, n: int, count: int = 1) -> None:
+        """Charge ``count`` independent determinant evaluations on ``n x n``
+        matrices (one batched ``Õ(1)``-depth block)."""
+        work = count * self.cost_model.determinant_work(n)
+        self.charge(work=work, machines=float(count), oracle_calls=count)
+
+    def charge_oracle(self, n: int, queries: int = 1) -> None:
+        """Charge ``queries`` independent counting-oracle queries."""
+        self.charge(
+            work=self.cost_model.oracle_query_work(n, queries),
+            machines=float(queries),
+            oracle_calls=queries,
+        )
+
+    # ------------------------------------------------------------------ #
+    # merging parallel branches (recursive samplers, e.g. Theorem 11)
+    # ------------------------------------------------------------------ #
+    def spawn(self) -> "Tracker":
+        """Create a child tracker for a parallel branch."""
+        return Tracker(self.cost_model, record_rounds=False)
+
+    def merge_parallel(self, branches: List["Tracker"]) -> None:
+        """Merge branch trackers executed *in parallel*: depth is the max of
+        the branch depths, work/oracle-calls are summed, machines are summed
+        (all branches are simultaneously active)."""
+        if not branches:
+            return
+        self.add_rounds(max(b.rounds for b in branches))
+        self.work += sum(b.work for b in branches)
+        self.oracle_calls += sum(b.oracle_calls for b in branches)
+        combined_machines = sum(max(b.peak_machines, 1.0) for b in branches)
+        if combined_machines > self.peak_machines:
+            self.peak_machines = combined_machines
+
+    def merge_sequential(self, branch: "Tracker") -> None:
+        """Merge a branch executed *after* the current work (depths add)."""
+        self.add_rounds(branch.rounds)
+        self.work += branch.work
+        self.oracle_calls += branch.oracle_calls
+        if branch.peak_machines > self.peak_machines:
+            self.peak_machines = branch.peak_machines
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Dictionary summary (used in :class:`repro.core.result.SamplerReport`)."""
+        return {
+            "rounds": self.rounds,
+            "work": self.work,
+            "oracle_calls": self.oracle_calls,
+            "peak_machines": self.peak_machines,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tracker(rounds={self.rounds}, work={self.work:.3g}, "
+            f"oracle_calls={self.oracle_calls}, peak_machines={self.peak_machines:.3g})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# current-tracker plumbing
+# ---------------------------------------------------------------------- #
+_NULL_TRACKER = Tracker()
+_current: ContextVar[Tracker] = ContextVar("repro_current_tracker", default=_NULL_TRACKER)
+
+
+def null_tracker() -> Tracker:
+    """The shared sink tracker used when no sampler installed one."""
+    return _NULL_TRACKER
+
+
+def current_tracker() -> Tracker:
+    """Return the tracker installed by the innermost :func:`use_tracker`."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def use_tracker(tracker: Tracker) -> Iterator[Tracker]:
+    """Install ``tracker`` as the current tracker for the enclosed block."""
+    token = _current.set(tracker)
+    try:
+        yield tracker
+    finally:
+        _current.reset(token)

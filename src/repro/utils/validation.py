@@ -1,0 +1,54 @@
+"""Lightweight argument validation used across the library.
+
+The helpers raise ``ValueError``/``TypeError`` with actionable messages so
+user-facing samplers fail fast on malformed kernels, probabilities, or subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def check_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Return ``matrix`` as a 2-D square ``float64`` array or raise."""
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be a square 2-D array, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_probability(value: float, name: str = "probability", *, allow_zero: bool = True,
+                      allow_one: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (with configurable open ends)."""
+    p = float(value)
+    if not np.isfinite(p):
+        raise ValueError(f"{name} must be finite, got {p}")
+    low_ok = p > 0 or (allow_zero and p == 0)
+    high_ok = p < 1 or (allow_one and p == 1)
+    if not (low_ok and high_ok):
+        raise ValueError(f"{name} must lie in the unit interval, got {p}")
+    return p
+
+
+def check_subset(subset: Iterable[int], n: int, name: str = "subset") -> tuple:
+    """Validate that ``subset`` has distinct elements inside ``[0, n)``."""
+    items = tuple(int(i) for i in subset)
+    if len(set(items)) != len(items):
+        raise ValueError(f"{name} has repeated elements: {items}")
+    if items and (min(items) < 0 or max(items) >= n):
+        raise ValueError(f"{name} {items} is outside the ground set [0, {n})")
+    return tuple(sorted(items))
+
+
+def check_positive_int(value: int, name: str = "value", *, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer at least ``minimum``."""
+    if not float(value).is_integer():
+        raise ValueError(f"{name} must be an integer, got {value}")
+    v = int(value)
+    if v < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {v}")
+    return v

@@ -1,0 +1,26 @@
+"""Synthetic workload generators used by the examples, tests, and benchmarks."""
+
+from repro.workloads.kernels import (
+    random_psd_ensemble,
+    random_low_rank_ensemble,
+    rbf_kernel_ensemble,
+    clustered_ensemble,
+    random_npsd_ensemble,
+    bounded_spectrum_ensemble,
+    spiked_spectrum_ensemble,
+)
+from repro.workloads.graphs import benchmark_grid_sizes
+from repro.workloads.datasets import synthetic_documents, synthetic_catalog
+
+__all__ = [
+    "random_psd_ensemble",
+    "random_low_rank_ensemble",
+    "rbf_kernel_ensemble",
+    "clustered_ensemble",
+    "random_npsd_ensemble",
+    "bounded_spectrum_ensemble",
+    "spiked_spectrum_ensemble",
+    "benchmark_grid_sizes",
+    "synthetic_documents",
+    "synthetic_catalog",
+]

@@ -1,0 +1,23 @@
+"""Graph workload helpers for the planar-matching experiments."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def benchmark_grid_sizes(max_vertices: int = 144) -> List[Tuple[int, int]]:
+    """Square-ish grid dimensions with an even vertex count, up to ``max_vertices``.
+
+    Used by the Theorem 11 benchmark to sweep ``n``; every returned grid has a
+    perfect matching (even number of vertices).
+    """
+    sizes: List[Tuple[int, int]] = []
+    side = 2
+    while side * side <= max_vertices:
+        rows, cols = side, side
+        if (rows * cols) % 2 == 1:
+            cols += 1
+        if rows * cols <= max_vertices:
+            sizes.append((rows, cols))
+        side += 2
+    return sizes

@@ -1,0 +1,158 @@
+"""Random ensemble-matrix generators.
+
+These produce the synthetic kernels the experiments sweep over:
+
+* :func:`random_psd_ensemble` / :func:`random_low_rank_ensemble` — generic PSD
+  ensembles with controllable spectrum (the Theorem 10 workload);
+* :func:`rbf_kernel_ensemble` — Gaussian-kernel similarity of random feature
+  vectors (the data-summarization / Nyström workload of the examples);
+* :func:`clustered_ensemble` — block-structured similarities with a natural
+  grouping (the Partition-DPP workload of Theorem 9);
+* :func:`random_npsd_ensemble` — nonsymmetric PSD ensembles built as
+  ``L = S + A`` with ``S ⪰ 0`` and ``A`` skew-symmetric (the Theorem 8
+  workload; nonsymmetric DPPs can model positive correlations);
+* :func:`bounded_spectrum_ensemble` — PSD ensembles whose marginal kernel has
+  a prescribed ``λmax`` and trace (the Theorem 41 workload).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.linalg.psd import random_orthogonal
+from repro.utils.rng import SeedLike, as_generator
+
+
+def random_psd_ensemble(n: int, *, rank: Optional[int] = None, scale: float = 1.0,
+                        seed: SeedLike = None) -> np.ndarray:
+    """Random PSD matrix ``L = B Bᵀ`` with ``B`` an ``n x rank`` Gaussian matrix."""
+    rng = as_generator(seed)
+    r = n if rank is None else int(rank)
+    if r <= 0 or r > n:
+        raise ValueError(f"rank must lie in [1, {n}], got {r}")
+    B = rng.standard_normal((n, r)) * np.sqrt(scale / max(r, 1))
+    return B @ B.T
+
+
+def random_low_rank_ensemble(n: int, rank: int, *, eigenvalue_scale: float = 2.0,
+                             seed: SeedLike = None) -> np.ndarray:
+    """PSD ensemble with exactly ``rank`` nonzero eigenvalues of size ``Θ(eigenvalue_scale)``."""
+    rng = as_generator(seed)
+    if not 1 <= rank <= n:
+        raise ValueError(f"rank must lie in [1, {n}]")
+    Q = random_orthogonal(n, rng)
+    eigenvalues = np.zeros(n)
+    eigenvalues[:rank] = eigenvalue_scale * (0.5 + rng.random(rank))
+    return (Q * eigenvalues) @ Q.T
+
+
+def rbf_kernel_ensemble(n: int, *, dimension: int = 5, bandwidth: float = 1.0,
+                        quality: Optional[np.ndarray] = None,
+                        seed: SeedLike = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Gaussian (RBF) similarity ensemble of random feature vectors.
+
+    Returns ``(L, features)``; ``L_{ij} = q_i q_j exp(-||x_i - x_j||² / (2 bw²))``
+    with optional per-item quality scores ``q`` (the standard quality/diversity
+    decomposition of DPP applications).
+    """
+    rng = as_generator(seed)
+    features = rng.standard_normal((n, dimension))
+    sq_norms = np.sum(features ** 2, axis=1)
+    sq_dists = sq_norms[:, None] + sq_norms[None, :] - 2.0 * features @ features.T
+    similarity = np.exp(-np.clip(sq_dists, 0.0, None) / (2.0 * bandwidth ** 2))
+    if quality is None:
+        quality = 0.5 + rng.random(n)
+    q = np.asarray(quality, dtype=float)
+    L = (q[:, None] * similarity) * q[None, :]
+    # symmetrize against floating point noise
+    return 0.5 * (L + L.T), features
+
+
+def clustered_ensemble(cluster_sizes: Sequence[int], *, within: float = 0.85,
+                       across: float = 0.05, scale: float = 2.0,
+                       seed: SeedLike = None) -> Tuple[np.ndarray, list]:
+    """Block-structured PSD ensemble with strong within-cluster similarity.
+
+    Returns ``(L, parts)`` where ``parts[i]`` lists the ground-set indices of
+    cluster ``i`` — ready to be used as the partition of a Partition-DPP.
+    """
+    rng = as_generator(seed)
+    sizes = [int(s) for s in cluster_sizes]
+    if any(s <= 0 for s in sizes):
+        raise ValueError("cluster sizes must be positive")
+    n = sum(sizes)
+    labels = np.repeat(np.arange(len(sizes)), sizes)
+    base = np.where(labels[:, None] == labels[None, :], within, across)
+    np.fill_diagonal(base, 1.0)
+    # jitter to avoid exact degeneracy, then project to PSD via a Gram construction
+    noise = rng.standard_normal((n, n)) * 0.01
+    sym = 0.5 * (base + base.T) + 0.5 * (noise + noise.T)
+    eigenvalues, vectors = np.linalg.eigh(sym)
+    eigenvalues = np.clip(eigenvalues, 1e-3, None) * scale
+    L = (vectors * eigenvalues) @ vectors.T
+    parts = []
+    start = 0
+    for s in sizes:
+        parts.append(list(range(start, start + s)))
+        start += s
+    return 0.5 * (L + L.T), parts
+
+
+def random_npsd_ensemble(n: int, *, symmetric_scale: float = 1.0, skew_scale: float = 1.0,
+                         rank: Optional[int] = None, seed: SeedLike = None) -> np.ndarray:
+    """Random nonsymmetric PSD ensemble ``L = S + A`` (``S ⪰ 0``, ``A = -Aᵀ``).
+
+    ``L + Lᵀ = 2S ⪰ 0`` so Definition 4 holds by construction; the skew part
+    introduces the positive correlations symmetric DPPs cannot express.
+    """
+    rng = as_generator(seed)
+    S = random_psd_ensemble(n, rank=rank, scale=symmetric_scale, seed=rng)
+    G = rng.standard_normal((n, n)) * skew_scale / np.sqrt(n)
+    A = 0.5 * (G - G.T)
+    return S + A
+
+
+def spiked_spectrum_ensemble(n: int, *, num_spikes: int = 2, spike_value: float = 0.9,
+                             background: float = 0.002, seed: SeedLike = None) -> np.ndarray:
+    """PSD ensemble whose marginal kernel has a few large eigenvalues.
+
+    ``num_spikes`` kernel eigenvalues sit at ``spike_value`` and the rest at
+    ``background``, so ``λmax(K)`` is large while ``tr(K) ≈ num_spikes·spike``
+    stays small — the regime where Theorem 41's *trace* route wins.
+    """
+    rng = as_generator(seed)
+    if not 0 < spike_value < 1 or not 0 <= background < 1:
+        raise ValueError("kernel eigenvalues must lie in [0, 1)")
+    if not 0 <= num_spikes <= n:
+        raise ValueError("num_spikes must lie in [0, n]")
+    Q = random_orthogonal(n, rng)
+    kernel_eigenvalues = np.full(n, background)
+    kernel_eigenvalues[:num_spikes] = spike_value
+    ensemble_eigenvalues = kernel_eigenvalues / (1.0 - kernel_eigenvalues)
+    return (Q * ensemble_eigenvalues) @ Q.T
+
+
+def bounded_spectrum_ensemble(n: int, *, kernel_lambda_max: float = 0.2,
+                              expected_size: Optional[float] = None,
+                              seed: SeedLike = None) -> np.ndarray:
+    """PSD ensemble whose *marginal kernel* has ``λmax(K) ≈ kernel_lambda_max``.
+
+    Optionally rescales the spectrum so that ``tr(K) ≈ expected_size`` (the
+    expected sample cardinality), which is the knob Theorem 41's two depth
+    regimes trade off.
+    """
+    rng = as_generator(seed)
+    if not 0 < kernel_lambda_max < 1:
+        raise ValueError("kernel_lambda_max must lie in (0, 1)")
+    Q = random_orthogonal(n, rng)
+    kernel_eigenvalues = kernel_lambda_max * rng.random(n)
+    if expected_size is not None:
+        current = kernel_eigenvalues.sum()
+        if current <= 0:
+            raise ValueError("degenerate spectrum")
+        factor = min(expected_size / current, 0.999 / max(kernel_eigenvalues.max(), 1e-12))
+        kernel_eigenvalues = kernel_eigenvalues * factor
+    ensemble_eigenvalues = kernel_eigenvalues / (1.0 - kernel_eigenvalues)
+    return (Q * ensemble_eigenvalues) @ Q.T

@@ -1,0 +1,161 @@
+"""Tests for the Algorithm 1 driver, the batch schedule, and the JVV baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.batched import (
+    BatchedSamplerConfig,
+    batch_schedule,
+    batched_sample,
+    default_batch_size,
+)
+from repro.core.sequential import sequential_sample
+from repro.distributions.generic import uniform_distribution_on_size_k
+from repro.dpp.exact import exact_kdpp_distribution
+from repro.dpp.symmetric import SymmetricDPP, SymmetricKDPP
+from repro.pram.tracker import Tracker
+from repro.workloads import random_psd_ensemble
+
+
+class TestBatchSchedule:
+    def test_default_batch_size(self):
+        assert default_batch_size(16) == 4
+        assert default_batch_size(17) == 5
+        assert default_batch_size(1) == 1
+
+    def test_schedule_sums_to_k(self):
+        for k in (1, 2, 5, 16, 100, 1000):
+            assert sum(batch_schedule(k)) == k
+
+    def test_schedule_length_at_most_two_sqrt_k(self):
+        # Proposition 28
+        for k in (1, 4, 10, 64, 100, 500, 2500, 10000):
+            assert len(batch_schedule(k)) <= 2 * math.sqrt(k) + 1
+
+    def test_schedule_zero(self):
+        assert batch_schedule(0) == []
+
+    def test_schedule_negative_raises(self):
+        with pytest.raises(ValueError):
+            batch_schedule(-1)
+
+    def test_first_batch_is_ceil_sqrt(self):
+        assert batch_schedule(50)[0] == math.ceil(math.sqrt(50))
+
+    def test_custom_batch_size(self):
+        schedule = batch_schedule(10, batch_size=lambda k: 2)
+        assert schedule == [2, 2, 2, 2, 2]
+
+
+class TestBatchedSampler:
+    def test_output_size_and_validity(self, small_psd):
+        dist = SymmetricKDPP(small_psd, 3)
+        result = batched_sample(dist, seed=0)
+        assert len(result.subset) == 3
+        assert len(set(result.subset)) == 3
+        assert dist.unnormalized(result.subset) > 0
+
+    def test_requires_fixed_cardinality(self, small_psd):
+        with pytest.raises(ValueError):
+            batched_sample(SymmetricDPP(small_psd), seed=0)
+
+    def test_rounds_scale_with_sqrt_k(self):
+        # Compare measured rounds for small and large k on a larger ensemble.
+        L = random_psd_ensemble(64, rank=64, seed=0)
+        r_small = batched_sample(SymmetricKDPP(L, 4), seed=1)
+        r_large = batched_sample(SymmetricKDPP(L, 36), seed=1)
+        # sqrt(36)/sqrt(4) = 3; allow a factor-2 slack over the ideal sqrt
+        # ratio -- still far below the 9x ratio a sequential sampler shows.
+        assert r_large.report.rounds <= 2 * 3 * r_small.report.rounds
+        # and the number of accepted batches obeys Proposition 28 directly
+        assert len(r_large.report.batch_sizes) <= 2 * 6 + 1
+
+    def test_report_batch_sizes_sum_to_k(self, small_psd):
+        result = batched_sample(SymmetricKDPP(small_psd, 4), seed=2)
+        assert sum(result.report.batch_sizes) == 4
+
+    def test_acceptance_rates_recorded(self, small_psd):
+        result = batched_sample(SymmetricKDPP(small_psd, 4), seed=3)
+        assert len(result.report.acceptance_rates) >= 1
+        assert result.report.proposals > 0
+
+    def test_tracker_passthrough(self, small_psd):
+        tracker = Tracker()
+        result = batched_sample(SymmetricKDPP(small_psd, 3), seed=4, tracker=tracker)
+        assert result.report.rounds == tracker.rounds
+        assert tracker.rounds > 0
+
+    def test_works_on_generic_distribution(self):
+        # the driver only needs the counting-oracle interface
+        dist = uniform_distribution_on_size_k(8, 4)
+        result = batched_sample(dist, seed=5)
+        assert len(result.subset) == 4
+
+    def test_distribution_accuracy_uniform(self):
+        # On the uniform size-k distribution (negatively correlated), batched
+        # sampling with the Lemma 27 constant is exact: check empirically.
+        dist = uniform_distribution_on_size_k(6, 2)
+        counts = {}
+        rng = np.random.default_rng(6)
+        num_samples = 1500
+        for _ in range(num_samples):
+            result = batched_sample(dist, seed=rng)
+            counts[result.subset] = counts.get(result.subset, 0) + 1
+        probs = np.array([counts.get(s, 0) / num_samples for s in dist.support])
+        assert np.abs(probs - 1.0 / 15.0).max() < 0.035
+
+    def test_custom_config_single_element_batches(self, small_psd):
+        config = BatchedSamplerConfig(batch_size=lambda k: 1)
+        result = batched_sample(SymmetricKDPP(small_psd, 3), config, seed=7)
+        assert result.report.batch_sizes == [1, 1, 1]
+
+    def test_failure_fallback_keeps_output_valid(self, small_psd):
+        # Force failures by making the rejection constant absurdly large with
+        # almost no machines and no retries.
+        config = BatchedSamplerConfig(
+            rejection_constant=lambda k, ell: 1e12,
+            machine_cap=2,
+            max_rounds_per_batch=1,
+        )
+        dist = SymmetricKDPP(small_psd, 3)
+        result = batched_sample(dist, config, seed=8)
+        assert len(result.subset) == 3
+        assert dist.unnormalized(result.subset) > 0
+
+
+class TestSequentialSampler:
+    def test_output_validity(self, small_psd):
+        dist = SymmetricKDPP(small_psd, 3)
+        result = sequential_sample(dist, seed=0)
+        assert len(result.subset) == 3
+        assert dist.unnormalized(result.subset) > 0
+
+    def test_depth_is_linear_in_k(self, small_psd):
+        for k in (1, 2, 4):
+            result = sequential_sample(SymmetricKDPP(small_psd, k), seed=1)
+            assert result.report.rounds == 2 * k  # marginals round + pick round per step
+
+    def test_requires_fixed_cardinality(self, small_psd):
+        with pytest.raises(ValueError):
+            sequential_sample(SymmetricDPP(small_psd), seed=0)
+
+    def test_distribution_accuracy(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 2)
+        counts = {}
+        rng = np.random.default_rng(2)
+        num_samples = 2500
+        for _ in range(num_samples):
+            result = sequential_sample(SymmetricKDPP(small_psd, 2), seed=rng)
+            counts[result.subset] = counts.get(result.subset, 0) + 1
+        tv = 0.5 * sum(
+            abs(counts.get(s, 0) / num_samples - exact.probability_vector([s])[0])
+            for s in exact.support
+        )
+        assert tv < 0.06
+
+    def test_works_on_generic_distribution(self):
+        dist = uniform_distribution_on_size_k(7, 3)
+        result = sequential_sample(dist, seed=3)
+        assert len(result.subset) == 3

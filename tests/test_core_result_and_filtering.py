@@ -1,0 +1,117 @@
+"""Tests for SampleResult/SamplerReport containers and filtering internals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import _sample_small_kernel_dpp
+from repro.core.result import SampleResult, SamplerReport
+from repro.dpp.exact import exact_dpp_distribution
+from repro.dpp.kernels import ensemble_to_kernel, kernel_to_ensemble
+from repro.pram.tracker import Tracker
+from repro.workloads import bounded_spectrum_ensemble
+
+
+class TestSamplerReport:
+    def test_defaults(self):
+        report = SamplerReport()
+        assert report.rounds == 0
+        assert report.mean_acceptance == 1.0
+        assert not report.failed
+
+    def test_mean_acceptance(self):
+        report = SamplerReport(acceptance_rates=[0.2, 0.4])
+        assert report.mean_acceptance == pytest.approx(0.3)
+
+    def test_from_tracker(self):
+        tracker = Tracker()
+        with tracker.round():
+            tracker.charge(work=3.0, machines=2.0, oracle_calls=1)
+        report = SamplerReport.from_tracker(tracker)
+        assert report.rounds == 1
+        assert report.work == pytest.approx(3.0)
+        assert report.oracle_calls == 1
+        assert report.peak_machines == pytest.approx(2.0)
+
+    def test_update_from_tracker(self):
+        tracker = Tracker()
+        report = SamplerReport()
+        with tracker.round():
+            pass
+        report.update_from_tracker(tracker)
+        assert report.rounds == 1
+
+    def test_extra_dict_is_per_instance(self):
+        a, b = SamplerReport(), SamplerReport()
+        a.extra["x"] = 1.0
+        assert "x" not in b.extra
+
+
+class TestSampleResult:
+    def test_container_protocol(self):
+        result = SampleResult(subset=(1, 3, 5), report=SamplerReport())
+        assert len(result) == 3
+        assert 3 in result
+        assert 2 not in result
+        assert list(result) == [1, 3, 5]
+
+    def test_empty_subset(self):
+        result = SampleResult(subset=(), report=SamplerReport())
+        assert len(result) == 0
+        assert list(result) == []
+
+
+class TestSmallKernelSampler:
+    """Lemma 44: rejection sampling against independent Bernoulli proposals."""
+
+    def _sample_many(self, K, num, seed):
+        rng = np.random.default_rng(seed)
+        tracker = Tracker()
+        samples = []
+        for _ in range(num):
+            report = SamplerReport()
+            samples.append(_sample_small_kernel_dpp(K, 0.05, rng, tracker, report))
+        return samples
+
+    def test_distribution_matches_exact(self):
+        # small-eigenvalue kernel on 5 elements
+        L = bounded_spectrum_ensemble(5, kernel_lambda_max=0.3, seed=0)
+        K = ensemble_to_kernel(L)
+        K = 0.5 * (K + K.T)
+        exact = exact_dpp_distribution(L)
+        samples = self._sample_many(K, 2500, seed=1)
+        counts = {}
+        for s in samples:
+            counts[s] = counts.get(s, 0) + 1
+        tv = 0.5 * sum(
+            abs(counts.get(s, 0) / len(samples) -
+                (exact.probability_vector([s])[0] if s in exact.support else 0.0))
+            for s in set(exact.support) | set(counts)
+        )
+        assert tv < 0.08
+
+    def test_empty_kernel(self):
+        rng = np.random.default_rng(0)
+        out = _sample_small_kernel_dpp(np.zeros((0, 0)), 0.1, rng, Tracker(), SamplerReport())
+        assert out == ()
+
+    def test_kernel_with_eigenvalue_one_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            _sample_small_kernel_dpp(np.eye(3), 0.1, rng, Tracker(), SamplerReport())
+
+    def test_charges_rounds(self):
+        L = bounded_spectrum_ensemble(6, kernel_lambda_max=0.2, seed=2)
+        K = ensemble_to_kernel(L)
+        tracker = Tracker()
+        rng = np.random.default_rng(3)
+        _sample_small_kernel_dpp(0.5 * (K + K.T), 0.1, rng, tracker, SamplerReport())
+        assert tracker.rounds >= 1
+
+
+class TestKernelRoundtripWithRidge:
+    def test_ridge_allows_near_singular_kernels(self):
+        K = np.diag([0.999999999999, 0.5])
+        L = kernel_to_ensemble(K, ridge=1e-9)
+        assert np.all(np.isfinite(L))

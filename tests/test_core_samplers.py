@@ -1,0 +1,241 @@
+"""Tests for the theorem-level samplers: Theorems 8, 9, 10, 29, 41."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropic import EntropicSamplerConfig, sample_entropic_parallel
+from repro.core.filtering import sample_bounded_dpp_filtering
+from repro.core.nonsymmetric import (
+    sample_nonsymmetric_dpp_parallel,
+    sample_nonsymmetric_kdpp_parallel,
+)
+from repro.core.partition import sample_partition_dpp_parallel
+from repro.core.symmetric import (
+    sample_symmetric_dpp_parallel,
+    sample_symmetric_kdpp_parallel,
+)
+from repro.dpp.exact import (
+    exact_dpp_distribution,
+    exact_kdpp_distribution,
+    exact_partition_dpp_distribution,
+)
+from repro.dpp.nonsymmetric import NonsymmetricKDPP
+from repro.dpp.partition import PartitionDPP
+from repro.dpp.symmetric import SymmetricKDPP
+from repro.pram.tracker import Tracker
+from repro.workloads import (
+    bounded_spectrum_ensemble,
+    clustered_ensemble,
+    random_npsd_ensemble,
+    random_psd_ensemble,
+)
+
+
+def empirical_tv(sample_fn, exact, num_samples, seed=0):
+    """Empirical total-variation distance between sampler output and an exact table."""
+    rng = np.random.default_rng(seed)
+    counts = {}
+    for _ in range(num_samples):
+        subset = tuple(sorted(sample_fn(rng)))
+        counts[subset] = counts.get(subset, 0) + 1
+    support = set(exact.support) | set(counts)
+    z = num_samples
+    tv = 0.0
+    for s in support:
+        p_exact = exact.probability_vector([s])[0] if s in exact.support else 0.0
+        tv += abs(counts.get(s, 0) / z - p_exact)
+    return 0.5 * tv
+
+
+class TestTheorem10Symmetric:
+    def test_kdpp_sample_validity(self, small_psd):
+        result = sample_symmetric_kdpp_parallel(small_psd, 3, seed=0)
+        assert len(result.subset) == 3
+        assert SymmetricKDPP(small_psd, 3).unnormalized(result.subset) > 0
+
+    def test_kdpp_distribution_accuracy(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 2)
+        tv = empirical_tv(
+            lambda rng: sample_symmetric_kdpp_parallel(small_psd, 2, seed=rng).subset,
+            exact, num_samples=2500, seed=1,
+        )
+        assert tv < 0.06
+
+    def test_unconstrained_dpp_accuracy(self, small_low_rank_psd):
+        exact = exact_dpp_distribution(small_low_rank_psd)
+        tv = empirical_tv(
+            lambda rng: sample_symmetric_dpp_parallel(small_low_rank_psd, seed=rng).subset,
+            exact, num_samples=2500, seed=2,
+        )
+        assert tv < 0.08
+
+    def test_depth_improves_on_sequential(self):
+        from repro.core.sequential import sequential_sample
+
+        L = random_psd_ensemble(80, rank=80, seed=3)
+        k = 36
+        parallel = sample_symmetric_kdpp_parallel(L, k, seed=4)
+        sequential = sequential_sample(SymmetricKDPP(L, k), seed=4)
+        assert parallel.report.rounds < sequential.report.rounds
+        # quadratic speedup ballpark: rounds should be O(sqrt(k)) * const
+        assert parallel.report.rounds <= 8 * np.sqrt(k)
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            sample_symmetric_kdpp_parallel(np.diag([1.0, -1.0]), 1, seed=0)
+
+    def test_report_contains_acceptance(self, small_psd):
+        result = sample_symmetric_kdpp_parallel(small_psd, 4, seed=5)
+        assert result.report.mean_acceptance > 0
+        assert sum(result.report.batch_sizes) == 4
+
+    def test_unconstrained_records_cardinality(self, small_psd):
+        result = sample_symmetric_dpp_parallel(small_psd, seed=6)
+        if result.subset:
+            assert result.report.extra["sampled_cardinality"] == len(result.subset)
+
+    def test_lemma27_acceptance_rate(self):
+        # Lemma 27: acceptance >= exp(-ell^2/k) ~ exp(-1) for ell = ceil(sqrt k);
+        # empirically the mean acceptance should comfortably exceed 0.2.
+        L = random_psd_ensemble(48, rank=48, seed=7)
+        result = sample_symmetric_kdpp_parallel(L, 16, seed=8)
+        assert result.report.mean_acceptance > 0.2
+
+
+class TestTheorem29Entropic:
+    def test_config_batch_size_exponent(self):
+        cfg = EntropicSamplerConfig(c=0.25)
+        assert cfg.batch_size(256) == int(np.ceil(256 ** 0.25))
+        assert cfg.batch_size(1) == 1
+
+    def test_requires_fixed_cardinality(self, small_psd):
+        from repro.dpp.symmetric import SymmetricDPP
+
+        with pytest.raises(ValueError):
+            sample_entropic_parallel(SymmetricDPP(small_psd), seed=0)
+
+    def test_sample_validity_on_hard_instance(self):
+        from repro.distributions.hard_instance import PairedHardInstance
+
+        mu = PairedHardInstance(12, 6)
+        result = sample_entropic_parallel(mu, EntropicSamplerConfig(c=0.3, epsilon=0.1), seed=1)
+        assert len(result.subset) == 6
+
+    def test_accuracy_on_hard_instance(self):
+        from repro.distributions.hard_instance import PairedHardInstance
+
+        mu = PairedHardInstance(8, 4)
+        exact = mu.to_explicit()
+        cfg = EntropicSamplerConfig(c=0.3, epsilon=0.05)
+        tv = empirical_tv(
+            lambda rng: sample_entropic_parallel(mu, cfg, seed=rng).subset,
+            exact, num_samples=1500, seed=2,
+        )
+        assert tv < 0.1
+
+    def test_conservative_constant(self):
+        cfg = EntropicSamplerConfig(c=0.5, epsilon=0.1, conservative=True)
+        constant = cfg.rejection_constant(10)
+        assert constant(4, 2) > 1e3
+
+
+class TestTheorem8Nonsymmetric:
+    def test_kdpp_sample_validity(self, small_npsd):
+        result = sample_nonsymmetric_kdpp_parallel(small_npsd, 3, seed=0)
+        assert len(result.subset) == 3
+        assert NonsymmetricKDPP(small_npsd, 3).unnormalized(result.subset) > 0
+
+    def test_kdpp_distribution_accuracy(self, small_npsd):
+        exact = exact_kdpp_distribution(small_npsd, 2)
+        cfg = EntropicSamplerConfig(c=0.3, epsilon=0.05)
+        tv = empirical_tv(
+            lambda rng: sample_nonsymmetric_kdpp_parallel(small_npsd, 2, config=cfg, seed=rng).subset,
+            exact, num_samples=2000, seed=1,
+        )
+        assert tv < 0.08
+
+    def test_unconstrained_accuracy(self, small_npsd):
+        exact = exact_dpp_distribution(small_npsd)
+        tv = empirical_tv(
+            lambda rng: sample_nonsymmetric_dpp_parallel(small_npsd, seed=rng).subset,
+            exact, num_samples=2000, seed=2,
+        )
+        assert tv < 0.1
+
+    def test_rejects_non_npsd(self):
+        with pytest.raises(ValueError):
+            sample_nonsymmetric_kdpp_parallel(np.diag([-2.0, 1.0]), 1, seed=0)
+
+
+class TestTheorem9Partition:
+    def test_sample_satisfies_constraints(self, clustered):
+        L, parts = clustered
+        counts = [2, 1]
+        result = sample_partition_dpp_parallel(L, parts, counts, seed=0)
+        assert len(result.subset) == 3
+        tallies = [len(set(result.subset) & set(p)) for p in parts]
+        assert tallies == counts
+
+    def test_distribution_accuracy(self, clustered):
+        L, parts = clustered
+        counts = [1, 1]
+        exact = exact_partition_dpp_distribution(L, parts, counts)
+        cfg = EntropicSamplerConfig(c=0.3, epsilon=0.05)
+        tv = empirical_tv(
+            lambda rng: sample_partition_dpp_parallel(L, parts, counts, config=cfg, seed=rng).subset,
+            exact, num_samples=1200, seed=1,
+        )
+        assert tv < 0.1
+
+    def test_infeasible_constraints_raise(self, clustered):
+        L, parts = clustered
+        with pytest.raises(ValueError):
+            sample_partition_dpp_parallel(L, parts, [5, 5], seed=0)
+
+
+class TestTheorem41Filtering:
+    def test_output_validity(self):
+        L = bounded_spectrum_ensemble(20, kernel_lambda_max=0.15, seed=0)
+        result = sample_bounded_dpp_filtering(L, epsilon=0.1, seed=1, strategy="filter")
+        # every sampled subset has positive DPP mass
+        if result.subset:
+            sub = L[np.ix_(result.subset, result.subset)]
+            assert np.linalg.det(sub) > 0
+
+    def test_accuracy_small_instance(self):
+        L = bounded_spectrum_ensemble(6, kernel_lambda_max=0.3, seed=2)
+        exact = exact_dpp_distribution(L)
+        tv = empirical_tv(
+            lambda rng: sample_bounded_dpp_filtering(L, epsilon=0.05, seed=rng,
+                                                     strategy="filter").subset,
+            exact, num_samples=1500, seed=3,
+        )
+        assert tv < 0.12
+
+    def test_trace_strategy_accuracy(self):
+        L = bounded_spectrum_ensemble(6, kernel_lambda_max=0.3, seed=4)
+        exact = exact_dpp_distribution(L)
+        tv = empirical_tv(
+            lambda rng: sample_bounded_dpp_filtering(L, epsilon=0.05, seed=rng,
+                                                     strategy="trace").subset,
+            exact, num_samples=1500, seed=5,
+        )
+        assert tv < 0.1
+
+    def test_auto_strategy_picks_a_route(self):
+        L = bounded_spectrum_ensemble(15, kernel_lambda_max=0.2, expected_size=2.0, seed=6)
+        result = sample_bounded_dpp_filtering(L, epsilon=0.1, seed=7, strategy="auto")
+        assert "lambda_max" in result.report.extra
+        assert "trace" in result.report.extra
+
+    def test_invalid_strategy(self, small_psd):
+        with pytest.raises(ValueError):
+            sample_bounded_dpp_filtering(small_psd, strategy="bogus", seed=0)
+
+    def test_report_tracks_rounds(self):
+        L = bounded_spectrum_ensemble(12, kernel_lambda_max=0.1, seed=8)
+        tracker = Tracker()
+        result = sample_bounded_dpp_filtering(L, epsilon=0.1, seed=9, tracker=tracker,
+                                              strategy="filter")
+        assert result.report.rounds == tracker.rounds
+        assert tracker.rounds >= 1

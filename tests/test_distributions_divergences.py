@@ -1,0 +1,140 @@
+"""Tests for divergences (Section 3.1) and the Lemma 12 comparison inequality."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.divergences import (
+    kl_divergence,
+    lemma12_bound,
+    lemma12_lhs,
+    renyi_divergence_exp,
+    total_variation,
+)
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        q = np.array([0.5, 0.5])
+        p = np.array([0.25, 0.75])
+        expected = 0.5 * np.log(2.0) + 0.5 * np.log(0.5 / 0.75)
+        assert kl_divergence(q, p) == pytest.approx(expected)
+
+    def test_infinite_when_support_mismatch(self):
+        assert kl_divergence([1.0, 0.0], [0.0, 1.0]) == np.inf
+
+    def test_nonnegative(self, rng):
+        for _ in range(20):
+            q = rng.random(6) + 1e-3
+            p = rng.random(6) + 1e-3
+            assert kl_divergence(q, p) >= -1e-12
+
+    def test_normalizes_inputs(self):
+        assert kl_divergence([2.0, 2.0], [1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            kl_divergence([1.0], [0.5, 0.5])
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            kl_divergence([-0.1, 1.1], [0.5, 0.5])
+
+
+class TestRenyi:
+    def test_order_one_is_unity(self):
+        assert renyi_divergence_exp([0.3, 0.7], [0.5, 0.5], 1.0) == pytest.approx(1.0)
+
+    def test_order_two_known_value(self):
+        q = np.array([0.5, 0.5])
+        p = np.array([0.25, 0.75])
+        expected = 0.25 / 0.25 + 0.25 / 0.75
+        assert renyi_divergence_exp(q, p, 2.0) == pytest.approx(expected)
+
+    def test_equals_one_for_identical(self):
+        p = np.array([0.1, 0.4, 0.5])
+        assert renyi_divergence_exp(p, p, 3.0) == pytest.approx(1.0)
+
+    def test_at_least_one(self, rng):
+        # D_a(q||p) >= 1 by Jensen for a >= 1
+        for _ in range(20):
+            q = rng.random(5) + 1e-3
+            p = rng.random(5) + 1e-3
+            assert renyi_divergence_exp(q, p, 2.0) >= 1.0 - 1e-12
+
+    def test_order_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            renyi_divergence_exp([0.5, 0.5], [0.5, 0.5], 0.5)
+
+    def test_infinite_on_support_mismatch(self):
+        assert renyi_divergence_exp([1.0, 0.0], [0.0, 1.0], 2.0) == np.inf
+
+
+class TestTotalVariation:
+    def test_zero_for_identical(self):
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_one_for_disjoint(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_symmetry(self, rng):
+        q = rng.random(4) + 1e-3
+        p = rng.random(4) + 1e-3
+        assert total_variation(q, p) == pytest.approx(total_variation(p, q))
+
+    def test_pinsker_inequality(self, rng):
+        # TV <= sqrt(KL / 2)
+        for _ in range(20):
+            q = rng.random(5) + 1e-2
+            p = rng.random(5) + 1e-2
+            tv = total_variation(q, p)
+            kl = kl_divergence(q, p)
+            assert tv <= np.sqrt(kl / 2.0) + 1e-9
+
+
+class TestLemma12:
+    def _near_uniform(self, rng, n, C):
+        # p_i in [1/(Cn), C/n]
+        lo, hi = 1.0 / (C * n), C / n
+        p = rng.uniform(lo, hi, size=n)
+        return p / p.sum()
+
+    def test_inequality_holds_uniform_reference(self, rng):
+        n = 8
+        for _ in range(30):
+            q = rng.random(n) + 1e-3
+            q = q / q.sum()
+            p = np.full(n, 1.0 / n)
+            for order in (1.5, 2.0, 3.0):
+                lhs = lemma12_lhs(q, p, order)
+                rhs = lemma12_bound(q, p, order, C=1.0)
+                assert lhs <= rhs + 1e-9
+
+    def test_inequality_holds_near_uniform_reference(self, rng):
+        n = 10
+        C = 1.5
+        for _ in range(30):
+            q = rng.random(n) + 1e-3
+            q = q / q.sum()
+            p = self._near_uniform(rng, n, C)
+            for order in (2.0, 2.5):
+                lhs = lemma12_lhs(q, p, order)
+                rhs = lemma12_bound(q, p, order, C=C)
+                assert lhs <= rhs + 1e-9
+
+    def test_restricted_sum_smaller(self, rng):
+        n = 6
+        q = rng.random(n) + 1e-3
+        p = np.full(n, 1.0 / n)
+        full = lemma12_lhs(q, p, 2.0)
+        restricted = lemma12_lhs(q, p, 2.0, restrict_to=[0, 1, 2])
+        assert restricted <= full + 1e-12
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            lemma12_bound([0.5, 0.5], [0.5, 0.5], 0.5, C=1.0)
+        with pytest.raises(ValueError):
+            lemma12_bound([0.5, 0.5], [0.5, 0.5], 2.0, C=0.5)

@@ -1,0 +1,183 @@
+"""Tests for ExplicitDistribution, proposals, and the base-class machinery."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.generic import (
+    ExplicitDistribution,
+    ProductMarginalProposal,
+    uniform_distribution_on_size_k,
+)
+from repro.utils.subsets import all_subsets_of_size
+
+
+class TestExplicitDistribution:
+    def test_normalization(self):
+        dist = ExplicitDistribution(3, {(0,): 1.0, (1,): 3.0})
+        assert dist.probability((1,)) == pytest.approx(0.75)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            ExplicitDistribution(2, {(0,): -1.0})
+
+    def test_rejects_empty_support(self):
+        with pytest.raises(ValueError):
+            ExplicitDistribution(2, {(0,): 0.0})
+
+    def test_rejects_out_of_range_subsets(self):
+        with pytest.raises(ValueError):
+            ExplicitDistribution(2, {(5,): 1.0})
+
+    def test_rejects_cardinality_violations(self):
+        with pytest.raises(ValueError):
+            ExplicitDistribution(3, {(0,): 1.0, (0, 1): 1.0}, cardinality=1)
+
+    def test_counting(self):
+        dist = ExplicitDistribution(3, {(0, 1): 1.0, (0, 2): 1.0, (1, 2): 2.0})
+        assert dist.counting((0,)) == pytest.approx(0.5)
+        assert dist.counting(()) == pytest.approx(1.0)
+
+    def test_marginal_vector(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        assert np.allclose(dist.marginal_vector(), np.full(4, 0.5))
+
+    def test_marginal_vector_conditioned(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        marginals = dist.marginal_vector((0,))
+        assert marginals[0] == pytest.approx(1.0)
+        assert np.allclose(marginals[1:], np.full(3, 1.0 / 3.0))
+
+    def test_condition_relabels(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        cond = dist.condition((1,))
+        assert cond.n == 3
+        assert cond.ground_labels == (0, 2, 3)
+        assert cond.cardinality == 1
+
+    def test_condition_zero_probability(self):
+        dist = ExplicitDistribution(3, {(0, 1): 1.0})
+        with pytest.raises(ValueError):
+            dist.condition((2,))
+
+    def test_down_project_marginal_consistency(self):
+        dist = uniform_distribution_on_size_k(5, 3)
+        down = dist.down_project(1)
+        # mu_1 assigns mass p_i / k to {i}
+        assert down.cardinality == 1
+        for i in range(5):
+            assert down.unnormalized((i,)) == pytest.approx(3.0 / 5.0 / 3.0)
+
+    def test_down_project_requires_cardinality(self):
+        dist = ExplicitDistribution(3, {(0,): 1.0, (0, 1): 1.0})
+        with pytest.raises(ValueError):
+            dist.down_project(1)
+
+    def test_down_project_invalid_ell(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        with pytest.raises(ValueError):
+            dist.down_project(3)
+
+    def test_total_variation_identical_is_zero(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        assert dist.total_variation(dist) == pytest.approx(0.0)
+
+    def test_total_variation_disjoint_is_one(self):
+        a = ExplicitDistribution(3, {(0,): 1.0})
+        b = ExplicitDistribution(3, {(1,): 1.0})
+        assert a.total_variation(b) == pytest.approx(1.0)
+
+    def test_total_variation_mismatched_ground_sets(self):
+        a = ExplicitDistribution(3, {(0,): 1.0})
+        b = ExplicitDistribution(4, {(0,): 1.0})
+        with pytest.raises(ValueError):
+            a.total_variation(b)
+
+    def test_sample_lands_in_support(self):
+        dist = uniform_distribution_on_size_k(5, 2)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert len(dist.sample(rng)) == 2
+
+    def test_probability_vector(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        probs = dist.probability_vector(list(all_subsets_of_size(4, 2)))
+        assert np.allclose(probs, np.full(6, 1.0 / 6.0))
+
+    def test_joint_marginal(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        assert dist.joint_marginal((0, 1)) == pytest.approx(1.0 / 6.0)
+
+    def test_expected_size(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        assert dist.expected_size() == pytest.approx(2.0)
+
+    def test_to_explicit_roundtrip(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        again = dist.to_explicit()
+        assert dist.total_variation(again) < 1e-12
+
+    def test_enumerate_support_guard(self):
+        dist = uniform_distribution_on_size_k(4, 2)
+        with pytest.raises(ValueError):
+            list(dist.enumerate_support(max_ground_set=2))
+
+
+class TestUniformDistribution:
+    def test_support_size(self):
+        dist = uniform_distribution_on_size_k(5, 3)
+        assert len(dist.support) == 10
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            uniform_distribution_on_size_k(3, 5)
+
+
+class TestProductMarginalProposal:
+    def test_tuple_shapes(self):
+        proposal = ProductMarginalProposal(np.array([0.5, 0.5, 1.0]), 2)
+        tuples = proposal.sample_tuples(3, 10, seed=0)
+        assert tuples.shape == (10, 3)
+        assert tuples.min() >= 0 and tuples.max() <= 2
+
+    def test_log_density_tuple(self):
+        marginals = np.array([0.5, 1.0, 0.5])
+        proposal = ProductMarginalProposal(marginals, 2)
+        expected = np.log(0.5 / 2) + np.log(1.0 / 2)
+        assert proposal.log_density_tuple([0, 1]) == pytest.approx(expected)
+
+    def test_log_density_tuples_vectorized(self):
+        marginals = np.array([0.5, 1.0, 0.5])
+        proposal = ProductMarginalProposal(marginals, 2)
+        tuples = np.array([[0, 1], [2, 2]])
+        vec = proposal.log_density_tuples(tuples)
+        assert vec[0] == pytest.approx(proposal.log_density_tuple([0, 1]))
+        assert vec[1] == pytest.approx(proposal.log_density_tuple([2, 2]))
+
+    def test_zero_marginal_gives_minus_inf(self):
+        proposal = ProductMarginalProposal(np.array([0.0, 1.0]), 1)
+        assert proposal.log_density_tuple([0]) == -np.inf
+
+    def test_single_element_distribution_normalized(self):
+        proposal = ProductMarginalProposal(np.array([0.2, 0.8, 1.0]), 2)
+        assert proposal.single.sum() == pytest.approx(1.0)
+
+    def test_empirical_frequencies_match(self):
+        marginals = np.array([0.2, 0.8, 1.0])
+        proposal = ProductMarginalProposal(marginals, 2)
+        tuples = proposal.sample_tuples(1, 20000, seed=1).ravel()
+        freqs = np.bincount(tuples, minlength=3) / 20000
+        assert np.allclose(freqs, marginals / marginals.sum(), atol=0.02)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ProductMarginalProposal(np.array([-0.1, 0.5]), 1)
+        with pytest.raises(ValueError):
+            ProductMarginalProposal(np.array([0.5, 0.5]), 0)
+        with pytest.raises(ValueError):
+            ProductMarginalProposal(np.zeros(3), 1)
+
+    def test_empty_tuples(self):
+        proposal = ProductMarginalProposal(np.array([1.0, 1.0]), 2)
+        tuples = proposal.sample_tuples(0, 5, seed=0)
+        assert tuples.shape == (5, 0)
+        assert np.allclose(proposal.log_density_tuples(tuples), np.zeros(5))

@@ -1,0 +1,278 @@
+"""Tests for the down operator, entropic independence, negative correlation,
+isotropic transformation, and the Section 7 hard instance."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions.down_operator import down_operator_matrix, down_project
+from repro.distributions.entropic import (
+    entropic_independence_constant,
+    is_entropically_independent,
+    is_fractionally_log_concave,
+)
+from repro.distributions.generic import ExplicitDistribution, uniform_distribution_on_size_k
+from repro.distributions.hard_instance import PairedHardInstance, duplicate_count
+from repro.distributions.isotropic import IsotropicTransform
+from repro.distributions.negative_corr import (
+    is_negatively_correlated,
+    negative_correlation_violations,
+)
+from repro.dpp.exact import exact_kdpp_distribution
+from repro.utils.subsets import binomial
+from repro.workloads import random_psd_ensemble
+
+
+class TestDownOperator:
+    def test_row_stochastic(self):
+        matrix, rows, cols = down_operator_matrix(5, 3, 2)
+        assert np.allclose(matrix.sum(axis=1), np.ones(len(rows)))
+
+    def test_entries(self):
+        matrix, rows, cols = down_operator_matrix(4, 2, 1)
+        col_index = {c: j for j, c in enumerate(cols)}
+        for i, row in enumerate(rows):
+            for element in row:
+                assert matrix[i, col_index[(element,)]] == pytest.approx(0.5)
+
+    def test_composition(self):
+        # D_{k->l} D_{l->m} == D_{k->m}
+        d32, _, _ = down_operator_matrix(5, 3, 2)
+        d21, _, _ = down_operator_matrix(5, 2, 1)
+        d31, _, _ = down_operator_matrix(5, 3, 1)
+        assert np.allclose(d32 @ d21, d31)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            down_operator_matrix(3, 4, 1)
+
+    def test_down_project_matches_matrix(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        projected = down_project(exact, 2)
+        matrix, rows, cols = down_operator_matrix(6, 3, 2)
+        mu = np.array([exact.probability(r) for r in rows])
+        mu2 = mu @ matrix
+        for col, value in zip(cols, mu2):
+            assert projected.unnormalized(col) == pytest.approx(value, abs=1e-10)
+
+    def test_down_project_marginals(self):
+        dist = uniform_distribution_on_size_k(5, 3)
+        down1 = down_project(dist, 1)
+        # mu_1({i}) = p_i / k
+        for i in range(5):
+            assert down1.unnormalized((i,)) == pytest.approx(3.0 / 5.0 / 3.0)
+
+
+class TestEntropicIndependence:
+    def test_symmetric_kdpp_is_one_entropically_independent(self, small_psd):
+        # Lemmas 23/24: symmetric DPPs are 1-FLC hence 1-entropically independent.
+        exact = exact_kdpp_distribution(small_psd, 3)
+        constant = entropic_independence_constant(exact, trials=15, seed=0)
+        assert constant <= 1.0 + 1e-6
+
+    def test_is_entropically_independent_flag(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 2)
+        assert is_entropically_independent(exact, alpha=1.0, trials=10, seed=1)
+
+    def test_hard_instance_is_half_entropically_independent(self):
+        # The paired hard instance is 1/2-FLC, hence 2-entropically independent
+        # but NOT 1-entropically independent.
+        mu = PairedHardInstance(8, 4).to_explicit()
+        constant = entropic_independence_constant(mu, trials=20, seed=2)
+        assert constant > 1.0 + 1e-3  # violates 1-EI
+        assert constant <= 2.0 + 1e-6  # consistent with 2-EI
+
+    def test_flc_symmetric_dpp(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 2)
+        assert is_fractionally_log_concave(exact, alpha=1.0, trials=60, seed=3)
+
+    def test_flc_hard_instance_at_half(self):
+        mu = PairedHardInstance(8, 4).to_explicit()
+        assert is_fractionally_log_concave(mu, alpha=0.5, trials=60, seed=4)
+
+    def test_flc_rejects_invalid_alpha(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 2)
+        with pytest.raises(ValueError):
+            is_fractionally_log_concave(exact, alpha=0.0)
+        with pytest.raises(ValueError):
+            is_entropically_independent(exact, alpha=2.0)
+
+    def test_requires_fixed_cardinality(self):
+        dist = ExplicitDistribution(3, {(0,): 1.0, (0, 1): 1.0})
+        with pytest.raises(ValueError):
+            entropic_independence_constant(dist)
+
+
+class TestNegativeCorrelation:
+    def test_symmetric_kdpp_negatively_correlated(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        assert is_negatively_correlated(exact)
+
+    def test_hard_instance_not_negatively_correlated(self):
+        # Pairs are perfectly positively correlated.
+        mu = PairedHardInstance(8, 4).to_explicit()
+        violations = negative_correlation_violations(mu, max_order=2)
+        assert violations
+        # the violating pairs are exactly the paired elements (2i, 2i+1)
+        assert any(set(v[0]) == {0, 1} for v in violations)
+
+    def test_uniform_distribution_negatively_correlated(self):
+        dist = uniform_distribution_on_size_k(5, 2)
+        assert is_negatively_correlated(dist)
+
+
+class TestIsotropicTransform:
+    def test_copy_counts_formula(self):
+        marginals = np.array([0.5, 0.25, 0.25])
+        transform = IsotropicTransform(marginals, k=1, beta=0.5)
+        expected = np.ceil(3 * marginals / (0.5 * 1)).astype(int)
+        assert np.array_equal(transform.copy_counts, expected)
+
+    def test_ground_set_size_bounds(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        marginals = exact.marginal_vector()
+        beta = 0.4
+        transform = IsotropicTransform(marginals, k=3, beta=beta)
+        low, high = transform.ground_set_bounds()
+        assert low - 1e-9 <= transform.size <= high + len(marginals)
+
+    def test_marginal_upper_bound(self, small_psd):
+        # Proposition 32.1: lifted marginals <= C k / |U|
+        exact = exact_kdpp_distribution(small_psd, 3)
+        marginals = exact.marginal_vector()
+        transform = IsotropicTransform(marginals, k=3, beta=0.3)
+        C, lower, upper = transform.marginal_bounds()
+        lifted = transform.lifted_marginals()
+        assert np.all(lifted <= upper + 1e-9)
+
+    def test_marginal_lower_bound_on_well_represented(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        marginals = exact.marginal_vector()
+        transform = IsotropicTransform(marginals, k=3, beta=0.3)
+        C, lower, upper = transform.marginal_bounds()
+        lifted = transform.lifted_marginals()
+        mask = transform.well_represented()
+        assert np.all(lifted[mask] >= lower - 1e-9)
+
+    def test_lift_explicit_preserves_entropic_profile(self, small_psd):
+        # the lifted distribution's projection back equals the original
+        exact = exact_kdpp_distribution(small_psd, 2)
+        transform = IsotropicTransform(exact.marginal_vector(), k=2, beta=0.5)
+        lifted = transform.lift_explicit(exact)
+        # project every lifted atom back and re-aggregate
+        table = {}
+        for subset, weight in lifted.items():
+            key = transform.project_sample(subset)
+            table[key] = table.get(key, 0.0) + weight
+        reconstructed = ExplicitDistribution(exact.n, table, cardinality=2)
+        assert reconstructed.total_variation(exact) < 1e-9
+
+    def test_lifted_marginals_match_explicit(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 2)
+        transform = IsotropicTransform(exact.marginal_vector(), k=2, beta=0.5)
+        lifted = transform.lift_explicit(exact)
+        assert np.allclose(lifted.marginal_vector(), transform.lifted_marginals(), atol=1e-9)
+
+    def test_copies_and_owner_roundtrip(self):
+        transform = IsotropicTransform(np.array([0.9, 0.1]), k=1, beta=0.5)
+        for element in range(2):
+            for copy in transform.copies_of(element):
+                assert transform.original_of(copy) == element
+
+    def test_project_sample_rejects_duplicates(self):
+        transform = IsotropicTransform(np.array([0.9, 0.1]), k=1, beta=0.2)
+        copies = transform.copies_of(0)[:2]
+        with pytest.raises(ValueError):
+            transform.project_sample(copies)
+
+    def test_lift_sample(self):
+        transform = IsotropicTransform(np.array([0.5, 0.5]), k=1, beta=0.5)
+        lifted = transform.lift_sample((1,), seed=0)
+        assert transform.project_sample(lifted) == (1,)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            IsotropicTransform(np.array([0.5]), k=1, beta=1.5)
+
+
+class TestHardInstance:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            PairedHardInstance(7, 4)
+        with pytest.raises(ValueError):
+            PairedHardInstance(8, 3)
+        with pytest.raises(ValueError):
+            PairedHardInstance(4, 6)
+
+    def test_support_is_unions_of_pairs(self):
+        mu = PairedHardInstance(8, 4)
+        assert mu.unnormalized((0, 1, 4, 5)) == 1.0
+        assert mu.unnormalized((0, 1, 2, 4)) == 0.0
+
+    def test_counting(self):
+        mu = PairedHardInstance(8, 4)
+        # total: C(4, 2) supports
+        assert mu.counting(()) == pytest.approx(binomial(4, 2))
+        # containing element 0: pair 0 must be chosen -> C(3, 1)
+        assert mu.counting((0,)) == pytest.approx(binomial(3, 1))
+        # containing elements of 3 distinct pairs with k/2=2 pairs: impossible
+        assert mu.counting((0, 2, 4)) == 0.0
+
+    def test_uniform_marginals(self):
+        mu = PairedHardInstance(10, 4)
+        assert np.allclose(mu.marginal_vector(), np.full(10, 0.4))
+
+    def test_exact_sampler_cardinality(self):
+        mu = PairedHardInstance(12, 6)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            s = mu.sample(rng)
+            assert len(s) == 6
+            assert mu.unnormalized(s) == 1.0
+
+    def test_duplicate_count(self):
+        assert duplicate_count((0, 1, 2, 4)) == 1
+        assert duplicate_count((0, 2, 4)) == 0
+        assert duplicate_count((0, 1, 2, 3)) == 2
+
+    def test_duplicate_probability_exact_sums_to_one(self):
+        mu = PairedHardInstance(16, 8)
+        ell = 4
+        total = sum(mu.duplicate_probability_exact(ell, t) for t in range(0, ell // 2 + 1))
+        assert total == pytest.approx(1.0)
+
+    def test_duplicate_probability_exact_matches_monte_carlo(self):
+        mu = PairedHardInstance(16, 8)
+        ell = 4
+        exact_p = sum(mu.duplicate_probability_exact(ell, t) for t in range(1, ell // 2 + 1))
+        mc = mu.duplicate_probability(ell, 1, samples=4000, seed=1)
+        assert abs(mc - exact_p) < 0.05
+
+    def test_duplicate_probability_scales_like_ell_squared_over_k(self):
+        # Section 7: P[>= 1 duplicate] = Theta(ell^2 / k)
+        mu = PairedHardInstance(400, 200)
+        small = sum(mu.duplicate_probability_exact(5, t) for t in range(1, 3))
+        large = sum(mu.duplicate_probability_exact(20, t) for t in range(1, 11))
+        assert large > small * 8  # (20/5)^2 = 16 in theory; allow slack
+
+    def test_density_ratio_bound(self):
+        mu = PairedHardInstance(100, 10)
+        assert mu.density_ratio_bound(4, 0) == pytest.approx(1.0)
+        assert mu.density_ratio_bound(4, 2) == pytest.approx((100 / 10) ** 2)
+        with pytest.raises(ValueError):
+            mu.density_ratio_bound(4, 3)
+
+    def test_condition_on_one_element_forces_pair(self):
+        mu = PairedHardInstance(8, 4)
+        conditioned = mu.condition((0,))
+        # element 1 (the partner) must appear with probability 1
+        labels = conditioned.ground_labels
+        marginals = conditioned.marginal_vector()
+        partner_local = labels.index(1)
+        assert marginals[partner_local] == pytest.approx(1.0)
+
+    def test_sample_down_size(self):
+        mu = PairedHardInstance(12, 6)
+        s = mu.sample_down(3, seed=0)
+        assert len(s) == 3

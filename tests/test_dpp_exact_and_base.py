@@ -1,0 +1,123 @@
+"""Tests for the brute-force exact module and SubsetDistribution default methods."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.base import SubsetDistribution
+from repro.dpp.exact import (
+    exact_dpp_distribution,
+    exact_kdpp_distribution,
+    exact_partition_dpp_distribution,
+)
+from repro.utils.subsets import binomial
+from repro.workloads import clustered_ensemble, random_psd_ensemble
+
+
+class TestExactModule:
+    def test_exact_dpp_guard(self):
+        with pytest.raises(ValueError):
+            exact_dpp_distribution(np.eye(25))
+
+    def test_exact_kdpp_guard(self):
+        with pytest.raises(ValueError):
+            exact_kdpp_distribution(np.eye(25), 3)
+
+    def test_exact_partition_guard(self):
+        with pytest.raises(ValueError):
+            exact_partition_dpp_distribution(np.eye(25), [list(range(25))], [3])
+
+    def test_exact_kdpp_support_size(self, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 2)
+        assert len(exact.support) == binomial(6, 2)
+
+    def test_exact_dpp_includes_empty_set(self, small_psd):
+        exact = exact_dpp_distribution(small_psd)
+        assert () in exact.support
+
+    def test_exact_identity_matrix_kdpp_is_uniform(self):
+        exact = exact_kdpp_distribution(np.eye(5), 2)
+        probs = exact.probability_vector(list(exact.support))
+        assert np.allclose(probs, 1.0 / binomial(5, 2))
+
+    def test_exact_partition_respects_constraints(self, clustered):
+        L, parts = clustered
+        exact = exact_partition_dpp_distribution(L, parts, [2, 0])
+        for subset in exact.support:
+            assert len(set(subset) & set(parts[0])) == 2
+            assert len(set(subset) & set(parts[1])) == 0
+
+
+class _OracleOnlyDistribution(SubsetDistribution):
+    """Minimal distribution implementing only the abstract interface, used to
+    exercise the default (counting-oracle based) implementations in the base
+    class: a k-DPP wrapped behind an opaque oracle."""
+
+    def __init__(self, L, k):
+        self.L = np.asarray(L, dtype=float)
+        self.n = self.L.shape[0]
+        self.k = k
+
+    @property
+    def cardinality(self):
+        return self.k
+
+    def counting(self, given=()):
+        from itertools import combinations
+
+        base = set(given)
+        total = 0.0
+        for subset in combinations(range(self.n), self.k):
+            if base.issubset(subset):
+                idx = list(subset)
+                total += float(np.linalg.det(self.L[np.ix_(idx, idx)]))
+        return total
+
+    def condition(self, include):
+        raise NotImplementedError
+
+
+class TestBaseClassDefaults:
+    @pytest.fixture
+    def oracle_dist(self, small_psd):
+        return _OracleOnlyDistribution(small_psd, 3)
+
+    def test_default_unnormalized(self, oracle_dist, small_psd):
+        subset = (0, 2, 4)
+        expected = np.linalg.det(small_psd[np.ix_(subset, subset)])
+        assert oracle_dist.unnormalized(subset) == pytest.approx(expected)
+
+    def test_default_probability(self, oracle_dist, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        subset = (1, 2, 5)
+        assert oracle_dist.probability(subset) == pytest.approx(
+            exact.probability_vector([subset])[0], rel=1e-8)
+
+    def test_default_joint_marginal(self, oracle_dist, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        z = exact.counting(())
+        assert oracle_dist.joint_marginal((0, 1)) == pytest.approx(
+            exact.counting((0, 1)) / z, rel=1e-8)
+
+    def test_default_marginal(self, oracle_dist, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        assert oracle_dist.marginal(2) == pytest.approx(exact.marginal_vector()[2], rel=1e-8)
+
+    def test_default_marginal_of_conditioned_element_is_one(self, oracle_dist):
+        assert oracle_dist.marginal(1, given=(1,)) == 1.0
+
+    def test_default_marginal_vector(self, oracle_dist, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        assert np.allclose(oracle_dist.marginal_vector(), exact.marginal_vector(), atol=1e-8)
+
+    def test_default_to_explicit(self, oracle_dist, small_psd):
+        exact = exact_kdpp_distribution(small_psd, 3)
+        assert oracle_dist.to_explicit().total_variation(exact) < 1e-9
+
+    def test_zero_probability_conditioning_raises(self, small_psd):
+        dist = _OracleOnlyDistribution(small_psd, 2)
+        with pytest.raises(ValueError):
+            # conditioning on 3 elements is impossible for a 2-homogeneous law
+            dist.marginal_vector(given=(0, 1, 2))
+
+    def test_expected_size_for_homogeneous(self, oracle_dist):
+        assert oracle_dist.expected_size() == pytest.approx(3.0)

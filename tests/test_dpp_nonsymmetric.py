@@ -1,0 +1,129 @@
+"""Tests for NonsymmetricDPP / NonsymmetricKDPP against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.dpp.exact import exact_dpp_distribution, exact_kdpp_distribution
+from repro.dpp.nonsymmetric import NonsymmetricDPP, NonsymmetricKDPP
+from repro.distributions.negative_corr import negative_correlation_violations
+from repro.utils.subsets import all_subsets_of_size
+from repro.workloads import random_npsd_ensemble
+
+
+class TestNonsymmetricDPP:
+    def test_all_principal_minors_nonnegative(self, small_npsd):
+        # [Gar+19, Lemma 1]: nPSD matrices have nonnegative principal minors
+        from itertools import combinations
+
+        for size in range(7):
+            for s in combinations(range(6), size):
+                idx = list(s)
+                minor = np.linalg.det(small_npsd[np.ix_(idx, idx)]) if idx else 1.0
+                assert minor >= -1e-9
+
+    def test_partition_function(self, small_npsd):
+        dpp = NonsymmetricDPP(small_npsd)
+        assert dpp.partition_function() == pytest.approx(np.linalg.det(np.eye(6) + small_npsd))
+
+    def test_counting_matches_enumeration(self, small_npsd):
+        dpp = NonsymmetricDPP(small_npsd)
+        from itertools import combinations
+
+        for T in [(), (0,), (2, 4)]:
+            total = 0.0
+            for size in range(7):
+                for S in combinations(range(6), size):
+                    if set(T).issubset(S):
+                        idx = list(S)
+                        total += np.linalg.det(small_npsd[np.ix_(idx, idx)]) if idx else 1.0
+            assert dpp.counting(T) == pytest.approx(total, rel=1e-7)
+
+    def test_marginal_vector_matches_exact(self, small_npsd):
+        dpp = NonsymmetricDPP(small_npsd)
+        exact = exact_dpp_distribution(small_npsd)
+        assert np.allclose(dpp.marginal_vector(), exact.marginal_vector(), atol=1e-7)
+
+    def test_condition_matches_exact(self, small_npsd):
+        dpp = NonsymmetricDPP(small_npsd)
+        mine = dpp.condition((1,)).to_explicit()
+        theirs = exact_dpp_distribution(small_npsd).condition((1,))
+        assert mine.total_variation(theirs) < 1e-7
+
+    def test_cardinality_distribution(self, small_npsd):
+        dpp = NonsymmetricDPP(small_npsd)
+        exact = exact_dpp_distribution(small_npsd)
+        sizes = np.zeros(7)
+        for subset, prob in exact.items():
+            sizes[len(subset)] += prob
+        assert np.allclose(dpp.cardinality_distribution(), sizes, atol=1e-7)
+
+    def test_rejects_non_npsd(self):
+        with pytest.raises(ValueError):
+            NonsymmetricDPP(np.diag([-2.0, 1.0]))
+
+    def test_can_have_positive_correlations(self):
+        # The paper motivates nonsymmetric DPPs by their ability to model
+        # positive correlations, impossible for symmetric DPPs (Lemma 16).
+        L = np.array([[0.5, 1.0], [-1.0, 0.5]])
+        dpp = NonsymmetricDPP(L)
+        exact = dpp.to_explicit()
+        violations = negative_correlation_violations(exact, max_order=2)
+        assert violations, "expected a positive correlation for this kernel"
+
+
+class TestNonsymmetricKDPP:
+    def test_partition_function_matches_enumeration(self, small_npsd):
+        kdpp = NonsymmetricKDPP(small_npsd, 3)
+        total = sum(
+            np.linalg.det(small_npsd[np.ix_(s, s)]) for s in all_subsets_of_size(6, 3)
+        )
+        assert kdpp.partition_function() == pytest.approx(total, rel=1e-7)
+
+    def test_counting_conditional(self, small_npsd):
+        kdpp = NonsymmetricKDPP(small_npsd, 3)
+        T = (0, 5)
+        total = sum(
+            np.linalg.det(small_npsd[np.ix_(s, s)])
+            for s in all_subsets_of_size(6, 3)
+            if set(T).issubset(s)
+        )
+        assert kdpp.counting(T) == pytest.approx(total, rel=1e-6, abs=1e-9)
+
+    def test_marginals_match_exact(self, small_npsd):
+        kdpp = NonsymmetricKDPP(small_npsd, 3)
+        exact = exact_kdpp_distribution(small_npsd, 3)
+        assert np.allclose(kdpp.marginal_vector(), exact.marginal_vector(), atol=1e-7)
+
+    def test_conditional_marginals_match_exact(self, small_npsd):
+        kdpp = NonsymmetricKDPP(small_npsd, 3)
+        exact = exact_kdpp_distribution(small_npsd, 3)
+        given = (4,)
+        mine = kdpp.marginal_vector(given)
+        cond = exact.condition(given)
+        full = np.ones(6)
+        for local, label in enumerate(cond.ground_labels):
+            full[label] = cond.marginal_vector()[local]
+        assert np.allclose(mine, full, atol=1e-6)
+
+    def test_joint_marginals_batch(self, small_npsd):
+        kdpp = NonsymmetricKDPP(small_npsd, 3)
+        exact = exact_kdpp_distribution(small_npsd, 3)
+        z = exact.counting(())
+        subsets = [(0, 1), (3, 5)]
+        values = kdpp.joint_marginals_batch(subsets)
+        for subset, value in zip(subsets, values):
+            assert value == pytest.approx(exact.counting(subset) / z, abs=1e-8)
+
+    def test_condition_matches_exact(self, small_npsd):
+        mine = NonsymmetricKDPP(small_npsd, 3).condition((0,)).to_explicit()
+        theirs = exact_kdpp_distribution(small_npsd, 3).condition((0,))
+        assert mine.total_variation(theirs) < 1e-7
+
+    def test_condition_too_many_raises(self, small_npsd):
+        with pytest.raises(ValueError):
+            NonsymmetricKDPP(small_npsd, 2).condition((0, 1, 2))
+
+    def test_marginals_sum_to_k(self, small_npsd):
+        for k in (1, 2, 3):
+            kdpp = NonsymmetricKDPP(small_npsd, k)
+            assert kdpp.marginal_vector().sum() == pytest.approx(k, rel=1e-5)

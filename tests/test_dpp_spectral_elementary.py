@@ -1,0 +1,122 @@
+"""Tests for the sequential HKPV spectral samplers and ESP-based marginals."""
+
+import numpy as np
+import pytest
+
+from repro.dpp.elementary import (
+    dpp_size_distribution,
+    kdpp_marginals_spectral,
+    kdpp_normalization,
+    leave_one_out_esp,
+)
+from repro.dpp.exact import exact_dpp_distribution, exact_kdpp_distribution
+from repro.dpp.spectral import (
+    sample_dpp_spectral,
+    sample_kdpp_spectral,
+    select_kdpp_eigenvectors,
+)
+from repro.linalg.esp import elementary_symmetric_polynomials
+from repro.pram.tracker import Tracker, use_tracker
+from repro.utils.subsets import all_subsets_of_size
+from repro.workloads import random_psd_ensemble
+
+
+class TestElementary:
+    def test_size_distribution_matches_exact(self, small_psd):
+        sizes = dpp_size_distribution(small_psd)
+        exact = exact_dpp_distribution(small_psd)
+        expected = np.zeros(7)
+        for subset, prob in exact.items():
+            expected[len(subset)] += prob
+        assert np.allclose(sizes, expected, atol=1e-8)
+
+    def test_kdpp_normalization(self, small_psd):
+        for k in range(7):
+            expected = sum(
+                np.linalg.det(small_psd[np.ix_(s, s)]) if s else 1.0
+                for s in all_subsets_of_size(6, k)
+            )
+            assert kdpp_normalization(small_psd, k) == pytest.approx(expected, rel=1e-7)
+
+    def test_kdpp_normalization_out_of_range(self, small_psd):
+        assert kdpp_normalization(small_psd, 7) == 0.0
+        assert kdpp_normalization(small_psd, -1) == 0.0
+
+    def test_leave_one_out_esp(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        loo = leave_one_out_esp(values, 2)
+        for j in range(4):
+            rest = np.delete(values, j)
+            expected = elementary_symmetric_polynomials(rest)[2]
+            assert loo[j] == pytest.approx(expected)
+
+    def test_kdpp_marginals_spectral_match_exact(self, small_psd):
+        for k in (1, 2, 3, 4):
+            marginals = kdpp_marginals_spectral(small_psd, k)
+            exact = exact_kdpp_distribution(small_psd, k).marginal_vector()
+            assert np.allclose(marginals, exact, atol=1e-8)
+
+    def test_kdpp_marginals_edge_cases(self, small_psd):
+        assert np.allclose(kdpp_marginals_spectral(small_psd, 0), np.zeros(6))
+        assert np.allclose(kdpp_marginals_spectral(small_psd, 6), np.ones(6))
+
+
+class TestSpectralSamplers:
+    def test_kdpp_sample_has_correct_size(self, small_psd, rng):
+        for _ in range(10):
+            sample = sample_kdpp_spectral(small_psd, 3, rng)
+            assert len(sample) == 3
+            assert len(set(sample)) == 3
+
+    def test_kdpp_sampler_distribution(self, small_psd):
+        # Empirical frequencies of a small k-DPP should be close to exact.
+        exact = exact_kdpp_distribution(small_psd, 2)
+        rng = np.random.default_rng(0)
+        counts = {}
+        num_samples = 4000
+        for _ in range(num_samples):
+            s = sample_kdpp_spectral(small_psd, 2, rng)
+            counts[s] = counts.get(s, 0) + 1
+        tv = 0.5 * sum(
+            abs(counts.get(s, 0) / num_samples - exact.probability_vector([s])[0])
+            for s in exact.support
+        )
+        assert tv < 0.06
+
+    def test_dpp_sampler_size_distribution(self, small_low_rank_psd):
+        rng = np.random.default_rng(1)
+        expected = dpp_size_distribution(small_low_rank_psd)
+        sizes = np.zeros(8)
+        num_samples = 3000
+        for _ in range(num_samples):
+            s = sample_dpp_spectral(small_low_rank_psd, rng)
+            sizes[len(s)] += 1
+        sizes /= num_samples
+        assert np.abs(sizes - expected).max() < 0.05
+
+    def test_select_kdpp_eigenvectors_count(self, small_psd, rng):
+        eigenvalues = np.linalg.eigvalsh(small_psd)
+        for k in (1, 3, 5):
+            mask = select_kdpp_eigenvectors(eigenvalues, k, rng)
+            assert mask.sum() == k
+
+    def test_select_kdpp_eigenvectors_invalid_k(self, small_psd, rng):
+        eigenvalues = np.linalg.eigvalsh(small_psd)
+        with pytest.raises(ValueError):
+            select_kdpp_eigenvectors(eigenvalues, 10, rng)
+
+    def test_sampler_charges_sequential_depth(self, small_psd):
+        tracker = Tracker()
+        with use_tracker(tracker):
+            sample_kdpp_spectral(small_psd, 4, seed=3)
+        # eigendecomposition round + 4 sequential HKPV steps
+        assert tracker.rounds >= 5
+
+    def test_kdpp_k_zero(self, small_psd):
+        assert sample_kdpp_spectral(small_psd, 0, seed=0) == ()
+
+    def test_rank_deficient_rejects_large_k(self):
+        L = random_psd_ensemble(6, rank=2, seed=9)
+        eigenvalues = np.clip(np.linalg.eigvalsh(L), 0.0, None)
+        with pytest.raises(ValueError):
+            select_kdpp_eigenvectors(eigenvalues, 5, np.random.default_rng(0))

@@ -1,0 +1,212 @@
+"""Tests for repro.linalg: charpoly, determinants, Schur, ESPs, PSD helpers."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.charpoly import char_poly_coefficients, faddeev_leverrier
+from repro.linalg.determinant import (
+    batched_principal_minors,
+    determinant,
+    log_determinant,
+    principal_minor,
+)
+from repro.linalg.esp import elementary_symmetric_polynomials, esp_from_matrix
+from repro.linalg.psd import (
+    is_npsd,
+    is_psd,
+    project_psd,
+    psd_sqrt,
+    random_orthogonal,
+    symmetrize,
+)
+from repro.linalg.schur import condition_ensemble, schur_complement
+from repro.workloads import random_psd_ensemble
+
+
+class TestCharPoly:
+    def test_faddeev_matches_numpy_poly(self, rng):
+        a = rng.standard_normal((5, 5))
+        coeffs = faddeev_leverrier(a)
+        expected = np.poly(a)
+        assert np.allclose(coeffs, expected, atol=1e-8)
+
+    def test_char_poly_matches_numpy_poly(self, rng):
+        a = rng.standard_normal((6, 6))
+        coeffs = char_poly_coefficients(a)
+        expected = np.poly(a)
+        assert np.allclose(coeffs, expected, atol=1e-6 * max(1.0, np.abs(expected).max()))
+
+    def test_identity_matrix(self):
+        coeffs = faddeev_leverrier(np.eye(3))
+        # det(tI - I) = (t-1)^3 = t^3 - 3t^2 + 3t - 1
+        assert np.allclose(coeffs, [1, -3, 3, -1])
+
+    def test_constant_term_is_signed_determinant(self, rng):
+        a = rng.standard_normal((4, 4))
+        coeffs = faddeev_leverrier(a)
+        assert coeffs[-1] == pytest.approx((-1) ** 4 * np.linalg.det(a), rel=1e-8)
+
+    def test_empty_matrix(self):
+        assert np.allclose(char_poly_coefficients(np.zeros((0, 0))), [1.0])
+
+
+class TestDeterminants:
+    def test_determinant_matches_numpy(self, rng):
+        a = rng.standard_normal((5, 5))
+        assert determinant(a) == pytest.approx(np.linalg.det(a))
+
+    def test_empty_determinant_is_one(self):
+        assert determinant(np.zeros((0, 0))) == 1.0
+
+    def test_log_determinant(self, rng):
+        a = np.eye(4) + 0.1 * rng.standard_normal((4, 4))
+        sign, logabs = log_determinant(a)
+        assert sign * np.exp(logabs) == pytest.approx(np.linalg.det(a))
+
+    def test_principal_minor(self, small_psd):
+        subset = (1, 3, 4)
+        expected = np.linalg.det(small_psd[np.ix_(subset, subset)])
+        assert principal_minor(small_psd, subset) == pytest.approx(expected)
+
+    def test_principal_minor_empty(self, small_psd):
+        assert principal_minor(small_psd, ()) == 1.0
+
+    def test_principal_minor_out_of_range(self, small_psd):
+        with pytest.raises(ValueError):
+            principal_minor(small_psd, (0, 99))
+
+    def test_batched_matches_loop(self, small_psd):
+        subsets = [(0, 1), (2, 3), (1, 4)]
+        batched = batched_principal_minors(small_psd, subsets)
+        direct = [principal_minor(small_psd, s) for s in subsets]
+        assert np.allclose(batched, direct)
+
+    def test_batched_empty_subsets(self, small_psd):
+        assert np.allclose(batched_principal_minors(small_psd, [(), ()]), [1.0, 1.0])
+
+    def test_batched_requires_equal_sizes(self, small_psd):
+        with pytest.raises(ValueError):
+            batched_principal_minors(small_psd, [(0,), (1, 2)])
+
+    def test_batched_no_subsets(self, small_psd):
+        assert batched_principal_minors(small_psd, []).size == 0
+
+
+class TestSchur:
+    def test_determinant_factorization(self, small_psd):
+        # det(M) = det(M_BB) * det(schur complement)
+        block = (0, 2)
+        sc = schur_complement(small_psd, block)
+        det_block = np.linalg.det(small_psd[np.ix_(block, block)])
+        assert np.linalg.det(small_psd) == pytest.approx(det_block * np.linalg.det(sc), rel=1e-8)
+
+    def test_empty_block_is_identity_operation(self, small_psd):
+        assert np.allclose(schur_complement(small_psd, ()), small_psd)
+
+    def test_full_block_gives_empty(self, small_psd):
+        out = schur_complement(small_psd, tuple(range(6)))
+        assert out.shape == (0, 0)
+
+    def test_condition_ensemble_matches_conditional_minors(self, small_psd):
+        # det(L_{T ∪ A}) = det(L_T) * det((L^T)_A)
+        T = (1, 4)
+        L_cond, remaining = condition_ensemble(small_psd, T)
+        A_local = (0, 2)  # indices into remaining
+        A_global = tuple(remaining[i] for i in A_local)
+        lhs = np.linalg.det(small_psd[np.ix_(T + A_global, T + A_global)])
+        rhs = np.linalg.det(small_psd[np.ix_(T, T)]) * np.linalg.det(L_cond[np.ix_(A_local, A_local)])
+        assert lhs == pytest.approx(rhs, rel=1e-8)
+
+    def test_condition_on_zero_probability_event_raises(self):
+        L = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            condition_ensemble(L, (0,))
+
+    def test_remaining_labels(self, small_psd):
+        _, remaining = condition_ensemble(small_psd, (0, 3))
+        assert list(remaining) == [1, 2, 4, 5]
+
+
+class TestESP:
+    def test_small_case_by_hand(self):
+        esp = elementary_symmetric_polynomials(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(esp, [1.0, 6.0, 11.0, 6.0])
+
+    def test_max_order_truncation(self):
+        esp = elementary_symmetric_polynomials(np.array([1.0, 2.0, 3.0]), max_order=1)
+        assert np.allclose(esp, [1.0, 6.0])
+
+    def test_empty_values(self):
+        assert np.allclose(elementary_symmetric_polynomials(np.array([])), [1.0])
+
+    def test_esp_from_matrix_matches_eigenvalues(self, small_psd):
+        eigs = np.linalg.eigvalsh(small_psd)
+        expected = elementary_symmetric_polynomials(eigs)
+        via_matrix = esp_from_matrix(small_psd)
+        assert np.allclose(via_matrix, expected, rtol=1e-8)
+
+    def test_esp_charpoly_route_agrees(self, small_psd):
+        a = esp_from_matrix(small_psd, method="eigenvalues")
+        b = esp_from_matrix(small_psd, method="charpoly")
+        assert np.allclose(a, b, rtol=1e-6, atol=1e-8)
+
+    def test_esp_sum_of_minors_identity(self, rng):
+        # e_j(eigenvalues) equals the sum of j x j principal minors
+        a = random_psd_ensemble(5, seed=3)
+        esp = esp_from_matrix(a)
+        from itertools import combinations
+
+        for j in range(6):
+            total = sum(
+                np.linalg.det(a[np.ix_(s, s)]) if s else 1.0
+                for s in combinations(range(5), j)
+            )
+            assert esp[j] == pytest.approx(total, rel=1e-8)
+
+    def test_unknown_method_raises(self, small_psd):
+        with pytest.raises(ValueError):
+            esp_from_matrix(small_psd, method="nope")
+
+
+class TestPSD:
+    def test_is_psd_true(self, small_psd):
+        assert is_psd(small_psd)
+
+    def test_is_psd_false_for_indefinite(self):
+        assert not is_psd(np.diag([1.0, -1.0]))
+
+    def test_is_psd_false_for_asymmetric(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert not is_psd(a + 5 * np.eye(4)) or np.allclose(a, a.T)
+
+    def test_is_npsd(self, small_npsd):
+        assert is_npsd(small_npsd)
+
+    def test_is_npsd_false(self):
+        assert not is_npsd(np.diag([-2.0, 1.0]))
+
+    def test_project_psd_is_psd(self, rng):
+        a = rng.standard_normal((5, 5))
+        assert is_psd(project_psd(a))
+
+    def test_project_psd_fixes_negative_eigenvalues(self):
+        a = np.diag([1.0, -0.5])
+        out = project_psd(a)
+        assert np.linalg.eigvalsh(out).min() >= -1e-12
+
+    def test_psd_sqrt_squares_back(self, small_psd):
+        root = psd_sqrt(small_psd)
+        assert np.allclose(root @ root, small_psd, atol=1e-8)
+
+    def test_psd_sqrt_rejects_indefinite(self):
+        with pytest.raises(ValueError):
+            psd_sqrt(np.diag([1.0, -1.0]))
+
+    def test_random_orthogonal(self):
+        q = random_orthogonal(6, seed=0)
+        assert np.allclose(q @ q.T, np.eye(6), atol=1e-10)
+
+    def test_symmetrize(self, rng):
+        a = rng.standard_normal((4, 4))
+        s = symmetrize(a)
+        assert np.allclose(s, s.T)

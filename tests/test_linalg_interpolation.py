@@ -1,0 +1,89 @@
+"""Tests for Vandermonde interpolation used by the Partition-DPP oracle."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.interpolation import (
+    multivariate_coefficients_from_evaluations,
+    univariate_coefficients_from_evaluations,
+    vandermonde_solve,
+)
+
+
+class TestVandermondeSolve:
+    def test_recovers_polynomial(self):
+        coeffs = np.array([2.0, -1.0, 0.5])
+        nodes = np.array([0.3, 1.1, 2.7])
+        values = np.polyval(coeffs[::-1], nodes)
+        solved = vandermonde_solve(nodes, values)
+        assert np.allclose(solved, coeffs, atol=1e-10)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vandermonde_solve(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_duplicate_nodes(self):
+        with pytest.raises(ValueError):
+            vandermonde_solve(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+
+class TestUnivariate:
+    def test_quadratic(self):
+        poly = lambda x: 3.0 + 2.0 * x - 0.7 * x * x
+        coeffs = univariate_coefficients_from_evaluations(poly, degree=2)
+        assert np.allclose(coeffs, [3.0, 2.0, -0.7], atol=1e-9)
+
+    def test_degree_zero(self):
+        coeffs = univariate_coefficients_from_evaluations(lambda x: 5.0, degree=0)
+        assert np.allclose(coeffs, [5.0])
+
+    def test_negative_degree(self):
+        with pytest.raises(ValueError):
+            univariate_coefficients_from_evaluations(lambda x: x, degree=-1)
+
+    def test_characteristic_polynomial_use_case(self, rng):
+        # det(I + z L) is a degree-n polynomial in z whose coefficients are the
+        # elementary symmetric polynomials of L's eigenvalues.
+        from repro.linalg.esp import esp_from_matrix
+        from repro.workloads import random_psd_ensemble
+
+        L = random_psd_ensemble(4, seed=5)
+        coeffs = univariate_coefficients_from_evaluations(
+            lambda z: float(np.linalg.det(np.eye(4) + z * L)), degree=4
+        )
+        assert np.allclose(coeffs, esp_from_matrix(L), rtol=1e-6, atol=1e-8)
+
+
+class TestMultivariate:
+    def test_bivariate_polynomial(self):
+        # f(x, y) = 1 + 2x + 3y + 4xy
+        def evaluate(point):
+            x, y = point
+            return 1.0 + 2.0 * x + 3.0 * y + 4.0 * x * y
+
+        coeffs = multivariate_coefficients_from_evaluations(evaluate, degrees=[1, 1])
+        assert coeffs[0, 0] == pytest.approx(1.0, abs=1e-9)
+        assert coeffs[1, 0] == pytest.approx(2.0, abs=1e-9)
+        assert coeffs[0, 1] == pytest.approx(3.0, abs=1e-9)
+        assert coeffs[1, 1] == pytest.approx(4.0, abs=1e-9)
+
+    def test_single_variable_reduces_to_univariate(self):
+        def evaluate(point):
+            (x,) = point
+            return 2.0 - x + 0.5 * x ** 2
+
+        coeffs = multivariate_coefficients_from_evaluations(evaluate, degrees=[2])
+        assert np.allclose(coeffs, [2.0, -1.0, 0.5], atol=1e-9)
+
+    def test_degree_zero_axis(self):
+        def evaluate(point):
+            x, y = point
+            return 3.0 + 2.0 * y
+
+        coeffs = multivariate_coefficients_from_evaluations(evaluate, degrees=[0, 1])
+        assert coeffs.shape == (1, 2)
+        assert coeffs[0, 1] == pytest.approx(2.0, abs=1e-8)
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(ValueError):
+            multivariate_coefficients_from_evaluations(lambda p: 0.0, degrees=[-1])

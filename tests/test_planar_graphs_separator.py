@@ -1,0 +1,124 @@
+"""Tests for the planar graph wrapper and separators."""
+
+import numpy as np
+import pytest
+
+from repro.planar.graphs import PlanarGraph, cycle_graph, delaunay_graph, grid_graph, ladder_graph
+from repro.planar.separator import bfs_level_separator, separator_quality
+
+import networkx as nx
+
+
+class TestPlanarGraph:
+    def test_grid_counts(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical edges
+
+    def test_invalid_grid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_nonplanar_rejected(self):
+        with pytest.raises(ValueError):
+            PlanarGraph(nx.complete_graph(5))
+
+    def test_planar_accepted(self):
+        PlanarGraph(nx.complete_graph(4))
+
+    def test_remove_vertices(self):
+        g = grid_graph(3, 3)
+        reduced = g.remove_vertices([(0, 0), (2, 2)])
+        assert reduced.n == 7
+        assert not reduced.has_vertex((0, 0))
+
+    def test_connected_components(self):
+        g = grid_graph(1, 5)  # path
+        pieces = g.remove_vertices([(0, 2)]).connected_components()
+        assert sorted(p.n for p in pieces) == [2, 2]
+
+    def test_subgraph(self):
+        g = grid_graph(2, 2)
+        sub = g.subgraph([(0, 0), (0, 1)])
+        assert sub.n == 2 and sub.m == 1
+
+    def test_degree_and_neighbors(self):
+        g = grid_graph(3, 3)
+        assert g.degree((1, 1)) == 4
+        assert set(g.neighbors((0, 0))) == {(0, 1), (1, 0)}
+
+    def test_ladder_and_cycle(self):
+        assert ladder_graph(5).n == 10
+        assert cycle_graph(6).m == 6
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_delaunay_is_planar(self):
+        g = delaunay_graph(30, seed=0)
+        assert g.n == 30
+        assert nx.check_planarity(g.graph)[0]
+
+    def test_self_loops_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            PlanarGraph(graph)
+
+    def test_adjacency_index_is_stable(self):
+        g = grid_graph(2, 3)
+        idx = g.adjacency_index()
+        assert sorted(idx.values()) == list(range(6))
+
+
+class TestSeparator:
+    def test_separator_disconnects(self):
+        g = grid_graph(6, 6)
+        separator, components = bfs_level_separator(g)
+        removed = g.remove_vertices(separator)
+        assert len(list(nx.connected_components(removed.graph))) == len(components)
+        assert sum(len(c) for c in components) + len(separator) == g.n
+
+    def test_separator_balance_on_grids(self):
+        for side in (4, 6, 8, 10):
+            g = grid_graph(side, side)
+            separator, components = bfs_level_separator(g)
+            quality = separator_quality(g, separator, components)
+            assert quality["balance"] <= 0.75
+
+    def test_separator_size_scales_like_sqrt_n(self):
+        sizes = []
+        for side in (4, 8, 12):
+            g = grid_graph(side, side)
+            separator, _ = bfs_level_separator(g)
+            sizes.append(len(separator) / np.sqrt(g.n))
+        # normalized sizes stay bounded (O(sqrt n) scaling)
+        assert max(sizes) <= 3.0
+
+    def test_small_graphs(self):
+        g = grid_graph(1, 2)
+        separator, components = bfs_level_separator(g)
+        assert set(separator) == {(0, 0), (0, 1)}
+        assert components == []
+
+    def test_empty_graph(self):
+        g = PlanarGraph(nx.Graph())
+        assert bfs_level_separator(g) == ([], [])
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            bfs_level_separator(PlanarGraph(graph))
+
+    def test_quality_keys(self):
+        g = grid_graph(4, 4)
+        separator, components = bfs_level_separator(g)
+        quality = separator_quality(g, separator, components)
+        assert {"n", "separator_size", "separator_over_sqrt_n", "largest_component", "balance"} <= set(quality)
+
+    def test_separator_on_delaunay(self):
+        g = delaunay_graph(60, seed=1)
+        separator, components = bfs_level_separator(g)
+        quality = separator_quality(g, separator, components)
+        assert quality["balance"] <= 0.9
+        assert quality["separator_size"] < g.n

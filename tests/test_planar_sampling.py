@@ -1,0 +1,133 @@
+"""Tests for sequential and parallel (Theorem 11) perfect-matching samplers."""
+
+import numpy as np
+import pytest
+
+from repro.planar.graphs import PlanarGraph, cycle_graph, grid_graph, ladder_graph
+from repro.planar.matching import enumerate_perfect_matchings, sample_planar_matching_sequential
+from repro.planar.parallel_matching import sample_planar_matching_parallel
+from repro.pram.tracker import Tracker
+
+import networkx as nx
+
+
+def is_perfect_matching(graph: PlanarGraph, edges) -> bool:
+    covered = set()
+    for edge in edges:
+        u, v = tuple(edge)
+        if not graph.graph.has_edge(u, v):
+            return False
+        if u in covered or v in covered:
+            return False
+        covered.update((u, v))
+    return covered == set(graph.vertices())
+
+
+def empirical_matching_tv(sample_fn, graph, num_samples, seed=0):
+    matchings = enumerate_perfect_matchings(graph)
+    target = 1.0 / len(matchings)
+    rng = np.random.default_rng(seed)
+    counts = {m: 0 for m in matchings}
+    for _ in range(num_samples):
+        result = sample_fn(rng)
+        key = tuple(sorted(result.subset, key=lambda e: sorted(map(repr, e))))
+        assert key in counts, "sampler produced a non-matching or unknown matching"
+        counts[key] += 1
+    return 0.5 * sum(abs(c / num_samples - target) for c in counts.values())
+
+
+class TestSequentialMatchingSampler:
+    def test_output_is_perfect_matching(self):
+        g = grid_graph(4, 4)
+        result = sample_planar_matching_sequential(g, seed=0)
+        assert is_perfect_matching(g, result.subset)
+
+    def test_depth_is_linear(self):
+        g = grid_graph(4, 4)
+        result = sample_planar_matching_sequential(g, seed=1)
+        assert result.report.rounds == g.n // 2
+
+    def test_uniformity_on_cycle(self):
+        g = cycle_graph(6)
+        tv = empirical_matching_tv(
+            lambda rng: sample_planar_matching_sequential(g, seed=rng), g, 600, seed=2)
+        assert tv < 0.08
+
+    def test_uniformity_on_small_grid(self):
+        g = grid_graph(2, 4)
+        tv = empirical_matching_tv(
+            lambda rng: sample_planar_matching_sequential(g, seed=rng), g, 900, seed=3)
+        assert tv < 0.08
+
+    def test_odd_graph_raises(self):
+        with pytest.raises(ValueError):
+            sample_planar_matching_sequential(grid_graph(3, 3), seed=0)
+
+    def test_no_matching_raises(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (2, 3), (4, 5)])
+        graph.add_node(6)
+        graph.add_node(7)
+        with pytest.raises(ValueError):
+            sample_planar_matching_sequential(PlanarGraph(graph), seed=0)
+
+
+class TestParallelMatchingSampler:
+    def test_output_is_perfect_matching(self):
+        g = grid_graph(6, 6)
+        result = sample_planar_matching_parallel(g, seed=0)
+        assert is_perfect_matching(g, result.subset)
+
+    def test_uniformity_on_small_grid(self):
+        g = grid_graph(2, 4)
+        tv = empirical_matching_tv(
+            lambda rng: sample_planar_matching_parallel(g, seed=rng), g, 900, seed=1)
+        assert tv < 0.08
+
+    def test_uniformity_on_4x4_grid(self):
+        g = grid_graph(4, 4)
+        tv = empirical_matching_tv(
+            lambda rng: sample_planar_matching_parallel(g, seed=rng), g, 1200, seed=2)
+        assert tv < 0.1
+
+    def test_depth_improves_on_sequential(self):
+        g = grid_graph(8, 8)
+        parallel = sample_planar_matching_parallel(g, seed=3)
+        sequential = sample_planar_matching_sequential(g, seed=3)
+        assert parallel.report.rounds < sequential.report.rounds
+        assert sequential.report.rounds == g.n // 2
+
+    def test_depth_scales_sublinearly(self):
+        rounds = {}
+        for side in (4, 8):
+            g = grid_graph(side, side)
+            rounds[side] = sample_planar_matching_parallel(g, seed=4).report.rounds
+        # quadrupling n should far less than quadruple the depth
+        assert rounds[8] <= 3 * rounds[4]
+
+    def test_ladder_graphs(self):
+        g = ladder_graph(8)
+        result = sample_planar_matching_parallel(g, seed=5)
+        assert is_perfect_matching(g, result.subset)
+
+    def test_odd_graph_raises(self):
+        with pytest.raises(ValueError):
+            sample_planar_matching_parallel(grid_graph(3, 3), seed=0)
+
+    def test_no_matching_raises(self):
+        # even cycle with a pendant pair that disconnects matchability
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        with pytest.raises(ValueError):
+            sample_planar_matching_parallel(PlanarGraph(graph), seed=0)
+
+    def test_tracker_passthrough(self):
+        g = grid_graph(4, 4)
+        tracker = Tracker()
+        result = sample_planar_matching_parallel(g, seed=6, tracker=tracker)
+        assert result.report.rounds == tracker.rounds
+
+    def test_separator_size_recorded(self):
+        g = grid_graph(8, 8)
+        result = sample_planar_matching_parallel(g, seed=7)
+        assert result.report.extra.get("max_separator", 0) >= 1

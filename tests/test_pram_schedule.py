@@ -1,0 +1,68 @@
+"""Tests for simulated parallel scheduling helpers."""
+
+import pytest
+
+from repro.pram.schedule import parallel_branches, parallel_map
+from repro.pram.tracker import Tracker, current_tracker, use_tracker
+
+
+class TestParallelMap:
+    def test_results_in_order(self):
+        t = Tracker()
+        out = parallel_map(lambda x: x * x, [1, 2, 3], tracker=t)
+        assert out == [1, 4, 9]
+
+    def test_charges_one_round(self):
+        t = Tracker()
+        parallel_map(lambda x: x, list(range(10)), tracker=t)
+        assert t.rounds == 1
+        assert t.peak_machines >= 10
+
+    def test_inner_charges_absorbed_into_round(self):
+        t = Tracker()
+
+        def work(x):
+            current_tracker().charge(work=1.0)
+            return x
+
+        with use_tracker(t):
+            parallel_map(work, [1, 2, 3, 4])
+        assert t.rounds == 1
+        assert t.work == pytest.approx(4.0)
+
+    def test_empty_items(self):
+        t = Tracker()
+        assert parallel_map(lambda x: x, [], tracker=t) == []
+        assert t.rounds == 1
+
+
+class TestParallelBranches:
+    def test_depth_is_max_of_branches(self):
+        t = Tracker()
+
+        def make_branch(depth):
+            def branch():
+                trk = current_tracker()
+                for _ in range(depth):
+                    with trk.round():
+                        trk.charge(work=1.0)
+                return depth
+
+            return branch
+
+        with use_tracker(t):
+            results = parallel_branches([make_branch(2), make_branch(7), make_branch(3)])
+        assert results == [2, 7, 3]
+        assert t.rounds == 7
+        assert t.work == pytest.approx(12.0)
+
+    def test_no_branches(self):
+        t = Tracker()
+        assert parallel_branches([], tracker=t) == []
+        assert t.rounds == 0
+
+    def test_branch_results_preserved(self):
+        t = Tracker()
+        with use_tracker(t):
+            results = parallel_branches([lambda: "a", lambda: "b"])
+        assert results == ["a", "b"]

@@ -1,0 +1,142 @@
+"""Tests for the PRAM cost model and tracker."""
+
+import pytest
+
+from repro.pram.cost import CostModel
+from repro.pram.tracker import Tracker, current_tracker, null_tracker, use_tracker
+
+
+class TestCostModel:
+    def test_determinant_work_scaling(self):
+        model = CostModel(determinant_exponent=3.0)
+        assert model.determinant_work(10) == pytest.approx(1000.0)
+
+    def test_determinant_work_minimum(self):
+        model = CostModel()
+        assert model.determinant_work(0) == pytest.approx(1.0)
+
+    def test_oracle_query_work(self):
+        model = CostModel(determinant_exponent=2.0)
+        assert model.oracle_query_work(4, queries=3) == pytest.approx(3 * 16.0)
+
+
+class TestTrackerRounds:
+    def test_single_round(self):
+        t = Tracker()
+        with t.round():
+            pass
+        assert t.rounds == 1
+
+    def test_nested_rounds_count_once(self):
+        t = Tracker()
+        with t.round("outer"):
+            with t.round("inner"):
+                with t.round("inner2"):
+                    pass
+        assert t.rounds == 1
+
+    def test_sequential_rounds_add(self):
+        t = Tracker()
+        for _ in range(5):
+            with t.round():
+                pass
+        assert t.rounds == 5
+
+    def test_add_rounds(self):
+        t = Tracker()
+        t.add_rounds(3)
+        assert t.rounds == 3
+        with pytest.raises(ValueError):
+            t.add_rounds(-1)
+
+    def test_round_log(self):
+        t = Tracker(record_rounds=True)
+        with t.round("alpha"):
+            t.charge(work=2.0, oracle_calls=1)
+        assert len(t.round_log) == 1
+        assert t.round_log[0].label == "alpha"
+        assert t.round_log[0].work == pytest.approx(2.0)
+
+
+class TestTrackerCharges:
+    def test_charge_accumulates(self):
+        t = Tracker()
+        t.charge(work=5.0, machines=3.0, oracle_calls=2)
+        t.charge(work=1.0, machines=1.0, oracle_calls=1)
+        assert t.work == pytest.approx(6.0)
+        assert t.oracle_calls == 3
+        assert t.peak_machines == pytest.approx(3.0)
+
+    def test_charge_determinant(self):
+        t = Tracker(CostModel(determinant_exponent=3.0))
+        t.charge_determinant(4, count=2)
+        assert t.work == pytest.approx(2 * 64.0)
+        assert t.oracle_calls == 2
+
+    def test_charge_oracle(self):
+        t = Tracker()
+        t.charge_oracle(5, queries=7)
+        assert t.oracle_calls == 7
+        assert t.peak_machines == pytest.approx(7.0)
+
+    def test_snapshot_keys(self):
+        t = Tracker()
+        snap = t.snapshot()
+        assert set(snap) == {"rounds", "work", "oracle_calls", "peak_machines"}
+
+
+class TestTrackerMerging:
+    def test_merge_parallel_takes_max_depth(self):
+        parent = Tracker()
+        a, b = parent.spawn(), parent.spawn()
+        for _ in range(3):
+            with a.round():
+                a.charge(work=1.0)
+        for _ in range(5):
+            with b.round():
+                b.charge(work=2.0)
+        parent.merge_parallel([a, b])
+        assert parent.rounds == 5
+        assert parent.work == pytest.approx(3.0 + 10.0)
+
+    def test_merge_parallel_empty(self):
+        parent = Tracker()
+        parent.merge_parallel([])
+        assert parent.rounds == 0
+
+    def test_merge_parallel_sums_machines(self):
+        parent = Tracker()
+        a, b = parent.spawn(), parent.spawn()
+        a.charge(machines=4.0)
+        b.charge(machines=6.0)
+        parent.merge_parallel([a, b])
+        assert parent.peak_machines == pytest.approx(10.0)
+
+    def test_merge_sequential_adds_depth(self):
+        parent = Tracker()
+        with parent.round():
+            pass
+        child = parent.spawn()
+        for _ in range(2):
+            with child.round():
+                pass
+        parent.merge_sequential(child)
+        assert parent.rounds == 3
+
+
+class TestCurrentTracker:
+    def test_default_is_null_tracker(self):
+        assert current_tracker() is null_tracker()
+
+    def test_use_tracker_installs_and_restores(self):
+        t = Tracker()
+        with use_tracker(t):
+            assert current_tracker() is t
+        assert current_tracker() is not t
+
+    def test_nested_use_tracker(self):
+        outer, inner = Tracker(), Tracker()
+        with use_tracker(outer):
+            with use_tracker(inner):
+                assert current_tracker() is inner
+            assert current_tracker() is outer

@@ -1,0 +1,61 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(3)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        gens = spawn_generators(0, 5)
+        assert len(gens) == 5
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_children_are_independent_streams(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random(4) for g in gens]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [g.random(3) for g in spawn_generators(5, 2)]
+        b = [g.random(3) for g in spawn_generators(5, 2)]
+        for x, y in zip(a, b):
+            assert np.allclose(x, y)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(9)
+        gens = spawn_generators(parent, 4)
+        assert len(gens) == 4
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
