@@ -20,14 +20,32 @@ Baselines: :func:`repro.core.sequential_sample` (JVV reduction),
 :func:`repro.dpp.sample_dpp_spectral` / :func:`repro.dpp.sample_kdpp_spectral`
 (HKPV), :func:`repro.planar.sample_planar_matching_sequential`.
 
+Execution engine: every sampler expresses each adaptive round as an
+:class:`~repro.engine.batch.OracleBatch` executed by a pluggable backend —
+select it globally with :func:`repro.configure_backend` (``"serial"``,
+``"vectorized"``, ``"threads"``), scope it with :func:`repro.use_backend`,
+or pass ``backend=...`` to any sampler call.
+
 Substrates: :mod:`repro.dpp` (kernels, counting oracles),
 :mod:`repro.planar` (Kasteleyn counting, separators), :mod:`repro.linalg`
-(NC-style linear algebra), :mod:`repro.pram` (depth/work accounting),
-:mod:`repro.distributions` (divergences, entropic independence, isotropic
-transform, hard instance), :mod:`repro.workloads` (synthetic workloads).
+(NC-style linear algebra, batched in :mod:`repro.linalg.batch`),
+:mod:`repro.pram` (depth/work accounting), :mod:`repro.engine` (oracle-batch
+execution backends), :mod:`repro.distributions` (divergences, entropic
+independence, isotropic transform, hard instance), :mod:`repro.workloads`
+(synthetic workloads).
 """
 
-from repro import core, distributions, dpp, linalg, planar, pram, utils, workloads
+from repro import core, distributions, dpp, engine, linalg, planar, pram, utils, workloads
+from repro.engine import (
+    OracleBatch,
+    OracleBatchResult,
+    SerialBackend,
+    ThreadPoolBackend,
+    VectorizedBackend,
+    configure_backend,
+    current_backend,
+    use_backend,
+)
 from repro.core import (
     SampleResult,
     SamplerReport,
@@ -52,6 +70,7 @@ __all__ = [
     "core",
     "distributions",
     "dpp",
+    "engine",
     "linalg",
     "planar",
     "pram",
@@ -60,6 +79,14 @@ __all__ = [
     "SampleResult",
     "SamplerReport",
     "Tracker",
+    "OracleBatch",
+    "OracleBatchResult",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ThreadPoolBackend",
+    "configure_backend",
+    "current_backend",
+    "use_backend",
     "sample_symmetric_kdpp_parallel",
     "sample_symmetric_dpp_parallel",
     "sample_entropic_parallel",

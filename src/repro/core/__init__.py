@@ -14,6 +14,20 @@
   and 9 as instantiations of the meta-sampler.
 * :mod:`repro.core.filtering` — Algorithm 4 / Theorem 41 for spectrally
   bounded symmetric DPPs.
+
+Round → OracleBatch → backend flow
+----------------------------------
+
+Every sampler here describes each adaptive round (conditional marginals, the
+batched density-ratio queries of the rejection step) as one
+:class:`~repro.engine.batch.OracleBatch` and hands it to an
+:class:`~repro.engine.backends.ExecutionBackend` — serial reference loop,
+stacked-NumPy vectorization, or thread-pool fan-out — selected via
+:func:`repro.configure_backend` or a per-call ``backend=...`` argument.
+Backends change wall-clock execution only: the PRAM tracker still charges one
+adaptive round per batch, and every backend answers the same queries with
+numerics agreeing to machine precision, so fixed-seed runs return identical
+samples across backends (asserted by the backend-equivalence tests).
 """
 
 from repro.core.result import SampleResult, SamplerReport

@@ -16,6 +16,12 @@ iteration ``i`` it:
 
 Proposition 28: with ``ℓ = ⌈√k_i⌉`` the loop terminates within ``2√k``
 iterations, so the parallel depth is ``O(√k)`` rounds.
+
+Every adaptive round (marginals, density-ratio joint marginals) is expressed
+as one :class:`~repro.engine.batch.OracleBatch` and executed by a pluggable
+:class:`~repro.engine.backends.ExecutionBackend`, so the simulated parallel
+round is an actual vectorized (or threaded) fan-out rather than a Python
+loop over scalar ``counting()`` calls.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from repro.core.rejection import machines_for_boosting, modified_rejection_round
 from repro.core.result import SampleResult, SamplerReport
 from repro.distributions.base import SubsetDistribution
 from repro.distributions.generic import ProductMarginalProposal
+from repro.engine import BackendLike, ExecutionBackend, OracleBatch, resolve_backend
 from repro.pram.tracker import Tracker, use_tracker
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.subsets import binomial, subset_key
@@ -81,23 +88,19 @@ class BatchedSamplerConfig:
 
 
 def _joint_marginals(distribution: SubsetDistribution, subsets: Sequence[Tuple[int, ...]],
-                     tracker: Tracker) -> np.ndarray:
-    """``P[T ⊆ S]`` for each ``T`` using the fastest available oracle."""
-    batch_method = getattr(distribution, "joint_marginals_batch", None)
-    if batch_method is not None:
-        return np.asarray(batch_method(list(subsets)), dtype=float)
-    # generic fallback through the counting oracle (one batched round)
-    z = distribution.counting(())
-    values = np.empty(len(subsets), dtype=float)
-    with tracker.round("joint-marginals"):
-        tracker.charge(machines=float(len(subsets)))
-        for idx, subset in enumerate(subsets):
-            values[idx] = distribution.counting(subset) / z
-    return values
+                     tracker: Tracker, backend: ExecutionBackend) -> np.ndarray:
+    """``P[T ⊆ S]`` for each ``T`` — one :class:`OracleBatch` on ``backend``.
+
+    The normalizer is computed once per batch (cached on the request), and
+    the backend decides how the independent queries fan out.
+    """
+    batch = OracleBatch.joint_marginals(distribution, subsets, label="joint-marginals")
+    return backend.execute(batch, tracker=tracker).values
 
 
 def _log_target_ordered(distribution: SubsetDistribution, tuples: np.ndarray,
-                        k_remaining: int, tracker: Tracker) -> np.ndarray:
+                        k_remaining: int, tracker: Tracker,
+                        backend: ExecutionBackend) -> np.ndarray:
     """``log μ*_ℓ(tuple)`` for each proposed ordered tuple.
 
     ``μ*_ℓ(tuple) = μ_ℓ(set) / ℓ!`` with
@@ -118,7 +121,7 @@ def _log_target_ordered(distribution: SubsetDistribution, tuples: np.ndarray,
         key = subset_key(tuples[idx])
         unique_sets.setdefault(key, []).append(idx)
     keys = list(unique_sets)
-    joints = _joint_marginals(distribution, keys, tracker)
+    joints = _joint_marginals(distribution, keys, tracker, backend)
     log_binom = math.log(binomial(k_remaining, ell))
     log_fact = math.lgamma(ell + 1)
     for key, joint in zip(keys, joints):
@@ -131,7 +134,8 @@ def _log_target_ordered(distribution: SubsetDistribution, tuples: np.ndarray,
 
 
 def batched_sample(distribution: SubsetDistribution, config: Optional[BatchedSamplerConfig] = None,
-                   seed: SeedLike = None, *, tracker: Optional[Tracker] = None) -> SampleResult:
+                   seed: SeedLike = None, *, tracker: Optional[Tracker] = None,
+                   backend: BackendLike = None) -> SampleResult:
     """Run Algorithm 1 on a fixed-cardinality distribution.
 
     The distribution must expose the counting-oracle interface of
@@ -140,6 +144,11 @@ def batched_sample(distribution: SubsetDistribution, config: Optional[BatchedSam
     ``config`` decides whether the output is exact (valid global bound, e.g.
     Lemma 27 for symmetric DPPs) or ``O(ε)``-approximate (modified rejection
     sampling with a high-probability bound, Theorems 8/9/29).
+
+    Each adaptive round's oracle queries are expressed as one
+    :class:`~repro.engine.batch.OracleBatch` and executed by ``backend``
+    (defaulting to the one installed via :func:`repro.configure_backend`);
+    backend choice changes wall-clock fan-out, never the sampled output.
     """
     cfg = config if config is not None else BatchedSamplerConfig()
     k = distribution.cardinality
@@ -147,6 +156,7 @@ def batched_sample(distribution: SubsetDistribution, config: Optional[BatchedSam
         raise ValueError("batched_sample requires a fixed-cardinality distribution")
     rng = as_generator(seed)
     trk = tracker if tracker is not None else Tracker()
+    engine = resolve_backend(backend)
     report = SamplerReport()
     chosen: List[int] = []
     current = distribution
@@ -156,7 +166,10 @@ def batched_sample(distribution: SubsetDistribution, config: Optional[BatchedSam
         while remaining > 0:
             ell = max(1, min(int(cfg.batch_size(remaining)), remaining))
             # Round 1: conditional marginals of the current distribution.
-            marginals = current.marginal_vector()
+            marginals = engine.execute(
+                OracleBatch.marginal_vector(current, label="conditional-marginals"),
+                tracker=trk,
+            ).values
             proposal = ProductMarginalProposal(marginals, remaining)
             C = max(float(cfg.rejection_constant(remaining, ell)), 1.0)
             machines = machines_for_boosting(C, cfg.delta_per_round, cap=cfg.machine_cap)
@@ -164,7 +177,7 @@ def batched_sample(distribution: SubsetDistribution, config: Optional[BatchedSam
             accepted_set: Optional[Tuple[int, ...]] = None
             for _attempt in range(cfg.max_rounds_per_batch):
                 tuples = proposal.sample_tuples(ell, machines, rng)
-                log_target = _log_target_ordered(current, tuples, remaining, trk)
+                log_target = _log_target_ordered(current, tuples, remaining, trk, engine)
                 log_proposal = proposal.log_density_tuples(tuples)
                 log_ratios = log_target - log_proposal
                 outcome = modified_rejection_round(log_ratios, math.log(C), rng, tracker=trk)
@@ -185,7 +198,11 @@ def batched_sample(distribution: SubsetDistribution, config: Optional[BatchedSam
                 fallback: List[int] = []
                 inner = current
                 for _ in range(ell):
-                    probs = np.clip(inner.marginal_vector(), 0.0, None)
+                    inner_marginals = engine.execute(
+                        OracleBatch.marginal_vector(inner, label="fallback-marginals"),
+                        tracker=trk,
+                    ).values
+                    probs = np.clip(inner_marginals, 0.0, None)
                     probs = probs / probs.sum()
                     with trk.round("sequential-fallback"):
                         element = int(rng.choice(inner.n, p=probs))

@@ -32,6 +32,7 @@ from typing import Optional
 from repro.core.batched import BatchedSamplerConfig, batched_sample
 from repro.core.result import SampleResult
 from repro.distributions.base import SubsetDistribution
+from repro.engine import BackendLike
 from repro.pram.tracker import Tracker
 from repro.utils.rng import SeedLike
 
@@ -98,7 +99,8 @@ class EntropicSamplerConfig:
 def sample_entropic_parallel(distribution: SubsetDistribution,
                              config: Optional[EntropicSamplerConfig] = None,
                              seed: SeedLike = None, *,
-                             tracker: Optional[Tracker] = None) -> SampleResult:
+                             tracker: Optional[Tracker] = None,
+                             backend: BackendLike = None) -> SampleResult:
     """Theorem 29: approximate parallel sampling for entropically independent μ.
 
     ``distribution`` must be fixed-cardinality and expose the counting-oracle
@@ -118,4 +120,4 @@ def sample_entropic_parallel(distribution: SubsetDistribution,
         machine_cap=cfg.machine_cap,
         max_rounds_per_batch=cfg.max_rounds_per_batch,
     )
-    return batched_sample(distribution, driver_config, seed, tracker=tracker)
+    return batched_sample(distribution, driver_config, seed, tracker=tracker, backend=backend)

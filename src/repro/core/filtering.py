@@ -28,6 +28,7 @@ from repro.core.result import SampleResult, SamplerReport
 from repro.core.symmetric import sample_symmetric_kdpp_parallel
 from repro.dpp.elementary import dpp_size_distribution
 from repro.dpp.kernels import ensemble_to_kernel, kernel_to_ensemble, validate_ensemble
+from repro.engine import BackendLike, ExecutionBackend, OracleBatch, resolve_backend
 from repro.linalg.schur import condition_ensemble
 from repro.pram.tracker import Tracker, use_tracker
 from repro.utils.rng import SeedLike, as_generator
@@ -36,6 +37,7 @@ from repro.utils.subsets import subset_key
 
 def _sample_small_kernel_dpp(K: np.ndarray, epsilon: float, rng: np.random.Generator,
                              tracker: Tracker, report: SamplerReport, *,
+                             backend: Optional[ExecutionBackend] = None,
                              machine_cap: int = 4096,
                              max_rounds: int = 12) -> Tuple[int, ...]:
     """Lemma 44: sample a DPP whose kernel satisfies ``λmax(K) ≤ 1/√n``.
@@ -43,10 +45,13 @@ def _sample_small_kernel_dpp(K: np.ndarray, epsilon: float, rng: np.random.Gener
     Proposal: independent ``Bernoulli(K_ii)`` inclusion of every element.
     Acceptance ratio: ``μ(T)/ν(T) = det(L_T) det(I-K) / (∏_{i∈T} K_ii ∏_{i∉T}(1-K_ii))``,
     bounded by ``(1/ε)^{o(1)}`` on the high-probability set ``|T| = O(√n log 1/ε)``.
+    The per-proposal ``log det(L_T)`` evaluations form one
+    :class:`~repro.engine.batch.OracleBatch` per round.
     """
     n = K.shape[0]
     if n == 0:
         return ()
+    engine = resolve_backend(backend)
     p = np.clip(np.diag(K).copy(), 0.0, 1.0 - 1e-12)
     eye = np.eye(n)
     residual = eye - K
@@ -65,25 +70,17 @@ def _sample_small_kernel_dpp(K: np.ndarray, epsilon: float, rng: np.random.Gener
 
     for _ in range(max_rounds):
         proposals = rng.random((machines, n)) < p[np.newaxis, :]
-        log_ratios = np.empty(machines)
-        for idx in range(machines):
-            mask = proposals[idx]
-            subset = np.flatnonzero(mask)
-            if subset.size > size_cap:
-                log_ratios[idx] = np.inf  # outside Ω -> never accepted
-                continue
-            if subset.size:
-                sub = L[np.ix_(subset, subset)]
-                sign, logdet = np.linalg.slogdet(sub)
-                if sign <= 0:
-                    log_ratios[idx] = -np.inf
-                    continue
-            else:
-                logdet = 0.0
-            log_target = logdet + log_det_res
-            log_proposal = float(log_p[mask].sum() + log_keep[~mask].sum())
-            log_ratios[idx] = log_target - log_proposal
-        tracker.charge_determinant(max(int(proposals.sum(axis=1).max(initial=1)), 1), count=machines)
+        sizes = proposals.sum(axis=1)
+        inside = np.flatnonzero(sizes <= size_cap)
+        subsets = [tuple(np.flatnonzero(proposals[idx]).tolist()) for idx in inside]
+        log_dets = engine.execute(
+            OracleBatch.log_principal_minors(L, subsets, label="lemma44-log-minors"),
+            tracker=tracker,
+        ).values
+        # proposals outside Ω (too large) are never accepted
+        log_ratios = np.full(machines, np.inf)
+        log_proposal = np.where(proposals, log_p[np.newaxis, :], log_keep[np.newaxis, :]).sum(axis=1)
+        log_ratios[inside] = (log_dets + log_det_res) - log_proposal[inside]
         outcome = modified_rejection_round(log_ratios, math.log(C), rng, tracker=tracker,
                                            label="lemma44-rejection")
         report.proposals += outcome.proposals
@@ -99,7 +96,8 @@ def sample_bounded_dpp_filtering(L: np.ndarray, *, epsilon: float = 0.05,
                                  seed: SeedLike = None,
                                  tracker: Optional[Tracker] = None,
                                  strategy: str = "auto",
-                                 machine_cap: int = 4096) -> SampleResult:
+                                 machine_cap: int = 4096,
+                                 backend: BackendLike = None) -> SampleResult:
     """Theorem 41: approximate sampling with depth ``Õ(min{√tr K, λmax(K)√n})``.
 
     Parameters
@@ -113,6 +111,7 @@ def sample_bounded_dpp_filtering(L: np.ndarray, *, epsilon: float = 0.05,
     n = ensemble.shape[0]
     rng = as_generator(seed)
     trk = tracker if tracker is not None else Tracker()
+    engine = resolve_backend(backend)
     report = SamplerReport()
 
     with use_tracker(trk):
@@ -140,14 +139,16 @@ def sample_bounded_dpp_filtering(L: np.ndarray, *, epsilon: float = 0.05,
             if k == 0:
                 report.update_from_tracker(trk)
                 return SampleResult(subset=(), report=report)
-            inner = sample_symmetric_kdpp_parallel(ensemble, k, delta=epsilon, seed=rng, tracker=trk)
+            inner = sample_symmetric_kdpp_parallel(ensemble, k, delta=epsilon, seed=rng, tracker=trk,
+                                                   backend=engine)
             inner.report.extra.update(report.extra)
             return inner
 
         alpha = 1.0 / (max(lam_max, 1e-12) * math.sqrt(n))
         if alpha >= 1.0:
             # Step (1) of Algorithm 4: the kernel is already small enough.
-            subset = _sample_small_kernel_dpp(K, epsilon, rng, trk, report, machine_cap=machine_cap)
+            subset = _sample_small_kernel_dpp(K, epsilon, rng, trk, report, backend=engine,
+                                              machine_cap=machine_cap)
             report.update_from_tracker(trk)
             return SampleResult(subset=subset, report=report)
 
@@ -165,7 +166,7 @@ def sample_bounded_dpp_filtering(L: np.ndarray, *, epsilon: float = 0.05,
             current_K = 0.5 * (current_K + current_K.T)
             scaled_K = np.clip(alpha, 0.0, 1.0) * current_K
             batch = _sample_small_kernel_dpp(scaled_K, epsilon_round, rng, trk, report,
-                                             machine_cap=machine_cap)
+                                             backend=engine, machine_cap=machine_cap)
             report.batch_sizes.append(len(batch))
             if batch:
                 chosen.extend(labels[i] for i in batch)

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.entropic import EntropicSamplerConfig, sample_entropic_parallel
 from repro.core.result import SampleResult, SamplerReport
 from repro.dpp.nonsymmetric import NonsymmetricDPP, NonsymmetricKDPP
+from repro.engine import BackendLike
 from repro.pram.tracker import Tracker, use_tracker
 from repro.utils.rng import SeedLike, as_generator
 
@@ -25,16 +26,18 @@ from repro.utils.rng import SeedLike, as_generator
 def sample_nonsymmetric_kdpp_parallel(L: np.ndarray, k: int, *,
                                       config: Optional[EntropicSamplerConfig] = None,
                                       seed: SeedLike = None,
-                                      tracker: Optional[Tracker] = None) -> SampleResult:
+                                      tracker: Optional[Tracker] = None,
+                                      backend: BackendLike = None) -> SampleResult:
     """Theorem 8.1: approximate parallel sample from the nPSD k-DPP."""
     distribution = NonsymmetricKDPP(L, k)
-    return sample_entropic_parallel(distribution, config, seed, tracker=tracker)
+    return sample_entropic_parallel(distribution, config, seed, tracker=tracker, backend=backend)
 
 
 def sample_nonsymmetric_dpp_parallel(L: np.ndarray, *,
                                      config: Optional[EntropicSamplerConfig] = None,
                                      seed: SeedLike = None,
-                                     tracker: Optional[Tracker] = None) -> SampleResult:
+                                     tracker: Optional[Tracker] = None,
+                                     backend: BackendLike = None) -> SampleResult:
     """Theorem 8.2: approximate parallel sample from the unconstrained nPSD DPP.
 
     The cardinality is sampled exactly from its distribution (computable in one
@@ -50,6 +53,7 @@ def sample_nonsymmetric_dpp_parallel(L: np.ndarray, *,
             k = int(rng.choice(sizes.size, p=sizes))
     if k == 0:
         return SampleResult(subset=(), report=SamplerReport.from_tracker(trk))
-    result = sample_nonsymmetric_kdpp_parallel(distribution.L, k, config=config, seed=rng, tracker=trk)
+    result = sample_nonsymmetric_kdpp_parallel(distribution.L, k, config=config, seed=rng,
+                                               tracker=trk, backend=backend)
     result.report.extra["sampled_cardinality"] = float(k)
     return result

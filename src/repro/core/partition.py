@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.entropic import EntropicSamplerConfig, sample_entropic_parallel
 from repro.core.result import SampleResult
 from repro.dpp.partition import PartitionDPP
+from repro.engine import BackendLike
 from repro.pram.tracker import Tracker
 from repro.utils.rng import SeedLike
 
@@ -24,7 +25,8 @@ def sample_partition_dpp_parallel(L: np.ndarray, parts: Sequence[Sequence[int]],
                                   counts: Sequence[int], *,
                                   config: Optional[EntropicSamplerConfig] = None,
                                   seed: SeedLike = None,
-                                  tracker: Optional[Tracker] = None) -> SampleResult:
+                                  tracker: Optional[Tracker] = None,
+                                  backend: BackendLike = None) -> SampleResult:
     """Theorem 9: approximate parallel sample from the Partition-DPP.
 
     Parameters
@@ -37,4 +39,4 @@ def sample_partition_dpp_parallel(L: np.ndarray, parts: Sequence[Sequence[int]],
         Required intersection sizes ``c_1, ..., c_r`` (so ``k = Σ c_i``).
     """
     distribution = PartitionDPP(L, parts, counts)
-    return sample_entropic_parallel(distribution, config, seed, tracker=tracker)
+    return sample_entropic_parallel(distribution, config, seed, tracker=tracker, backend=backend)

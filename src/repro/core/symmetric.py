@@ -25,6 +25,7 @@ from repro.core.batched import BatchedSamplerConfig, batched_sample
 from repro.core.result import SampleResult, SamplerReport
 from repro.dpp.elementary import dpp_size_distribution
 from repro.dpp.symmetric import SymmetricDPP, SymmetricKDPP
+from repro.engine import BackendLike
 from repro.pram.tracker import Tracker, use_tracker
 from repro.utils.rng import SeedLike, as_generator
 
@@ -36,7 +37,8 @@ def _lemma27_constant(k_remaining: int, ell: int) -> float:
 
 def sample_symmetric_kdpp_parallel(L: np.ndarray, k: int, *, delta: float = 1e-2,
                                    seed: SeedLike = None, tracker: Optional[Tracker] = None,
-                                   config: Optional[BatchedSamplerConfig] = None) -> SampleResult:
+                                   config: Optional[BatchedSamplerConfig] = None,
+                                   backend: BackendLike = None) -> SampleResult:
     """Theorem 10.1: exact parallel sample from the k-DPP with PSD ensemble ``L``.
 
     Parameters
@@ -57,12 +59,13 @@ def sample_symmetric_kdpp_parallel(L: np.ndarray, k: int, *, delta: float = 1e-2
             rejection_constant=_lemma27_constant,
             delta_per_round=per_round,
         )
-    return batched_sample(distribution, config, seed, tracker=tracker)
+    return batched_sample(distribution, config, seed, tracker=tracker, backend=backend)
 
 
 def sample_symmetric_dpp_parallel(L: np.ndarray, *, delta: float = 1e-2,
                                   seed: SeedLike = None,
-                                  tracker: Optional[Tracker] = None) -> SampleResult:
+                                  tracker: Optional[Tracker] = None,
+                                  backend: BackendLike = None) -> SampleResult:
     """Theorem 10.2: exact parallel sample from the unconstrained symmetric DPP.
 
     Remark 15: sample the cardinality ``|S|`` from its exact distribution
@@ -79,6 +82,7 @@ def sample_symmetric_dpp_parallel(L: np.ndarray, *, delta: float = 1e-2,
     if k == 0:
         report = SamplerReport.from_tracker(trk)
         return SampleResult(subset=(), report=report)
-    result = sample_symmetric_kdpp_parallel(distribution.L, k, delta=delta, seed=rng, tracker=trk)
+    result = sample_symmetric_kdpp_parallel(distribution.L, k, delta=delta, seed=rng, tracker=trk,
+                                            backend=backend)
     result.report.extra["sampled_cardinality"] = float(k)
     return result

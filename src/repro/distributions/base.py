@@ -29,14 +29,25 @@ from repro.utils.subsets import Subset, all_subsets_of_size, subset_key
 from repro.utils.validation import check_subset
 
 
+class CountingOracleError(ValueError):
+    """Raised when a counting oracle returns invalid (e.g. negative) values.
+
+    Counting oracles answer ``Σ { μ(S) : T ⊆ S }`` for a nonnegative measure,
+    so any significantly negative answer means the oracle implementation (or
+    its numerical route) is broken; samplers must not silently clip it away.
+    """
+
+
 class SubsetDistribution(abc.ABC):
     """A (possibly unnormalized) measure over subsets of ``{0, ..., n-1}``.
 
     Subclasses must implement :meth:`counting` (the paper's counting oracle)
     and :meth:`condition` (self-reducibility).  Default implementations of
-    marginals, joint marginals, and normalization are derived from the oracle;
-    subclasses are encouraged to override them with faster linear-algebra
-    routes (DPPs do).
+    marginals, joint marginals, batched queries, and normalization are derived
+    from the oracle; subclasses are encouraged to override them with faster
+    linear-algebra routes (DPPs do) — in particular :meth:`counting_batch` and
+    :meth:`joint_marginals_batch`, which the vectorized execution backend
+    (:mod:`repro.engine`) uses to answer a whole adaptive round at once.
     """
 
     #: ground set size
@@ -99,6 +110,28 @@ class SubsetDistribution(abc.ABC):
             raise ValueError("distribution has zero total mass")
         return self.counting(items) / z
 
+    # ------------------------------------------------------------------ #
+    # batched oracle queries (one adaptive round; see repro.engine)
+    # ------------------------------------------------------------------ #
+    def counting_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Counting-oracle answers for many subsets in one batched round.
+
+        The generic default loops the scalar oracle; structured subclasses
+        (DPPs, explicit tables) override it with one vectorized pass so the
+        :class:`~repro.engine.backends.VectorizedBackend` actually fans out.
+        """
+        return np.array([self.counting(subset) for subset in subsets], dtype=float)
+
+    def joint_marginals_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """``P[T ⊆ S]`` for many subsets ``T`` in one batched round.
+
+        The normalizer ``μ([n])`` is computed exactly once per batch.
+        """
+        z = self.partition_function()
+        if z <= 0:
+            raise ValueError("distribution has zero total mass")
+        return np.clip(self.counting_batch(subsets) / z, 0.0, None)
+
     def marginal(self, element: int, given: Iterable[int] = ()) -> float:
         """Conditional marginal ``P[element ∈ S | given ⊆ S]``."""
         base = check_subset(given, self.n)
@@ -116,21 +149,39 @@ class SubsetDistribution(abc.ABC):
         Elements already in ``given`` get marginal 1.  This default issues
         ``n`` counting-oracle queries in a single adaptive round; DPP
         subclasses override it with a single marginal-kernel computation.
+
+        Raises
+        ------
+        CountingOracleError
+            If any counting query returns a significantly negative value —
+            the oracle contract is violated and the proposal distribution
+            built from these marginals would be meaningless.  Values are
+            validated in one vectorized pass after the round; tiny negative
+            floating-point noise is clipped to zero.
         """
         base = check_subset(given, self.n)
         denom = self.counting(base)
         if denom <= 0:
             raise ValueError(f"conditioning event {base} has zero probability")
-        result = np.zeros(self.n, dtype=float)
+        base_set = set(base)
+        outside = [i for i in range(self.n) if i not in base_set]
+        queries = [tuple(sorted(base + (i,))) for i in outside]
+        values = np.full(self.n, denom, dtype=float)
         tracker = current_tracker()
         with tracker.round("marginal_vector"):
             tracker.charge(machines=float(self.n))
-            for i in range(self.n):
-                if i in base:
-                    result[i] = 1.0
-                else:
-                    result[i] = self.counting(tuple(sorted(base + (i,)))) / denom
-        return np.clip(result, 0.0, 1.0)
+            values[outside] = self.counting_batch(queries)
+        # one vectorized validation pass over the whole round's answers
+        tolerance = 1e-12 * max(float(np.abs(values).max(initial=0.0)), denom, 1.0)
+        invalid = np.flatnonzero(values < -tolerance)
+        if invalid.size:
+            worst = invalid[np.argmin(values[invalid])]
+            raise CountingOracleError(
+                f"counting oracle returned negative values for {invalid.size} "
+                f"element(s) {invalid[:5].tolist()} given {base}; worst offender: "
+                f"element {int(worst)} with value {values[worst]:.6g}"
+            )
+        return np.clip(np.clip(values, 0.0, None) / denom, 0.0, 1.0)
 
     def cardinality_distribution(self) -> np.ndarray:
         """``P[|S| = t]`` for ``t = 0..n`` (brute force default; DPPs override)."""

@@ -42,6 +42,7 @@ class ExplicitDistribution(SubsetDistribution):
                 table[key] = table.get(key, 0.0) + w
         if not table:
             raise ValueError("distribution has empty support")
+        self._support_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._cardinality = cardinality
         if cardinality is not None:
             bad = [s for s in table if len(s) != cardinality]
@@ -69,12 +70,45 @@ class ExplicitDistribution(SubsetDistribution):
     def as_dict(self) -> Dict[Subset, float]:
         return dict(self._table)
 
+    def _support_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(mask, weights)`` arrays over the support (table order)."""
+        if self._support_cache is None:
+            mask = np.zeros((len(self._table), self.n), dtype=float)
+            weights = np.empty(len(self._table), dtype=float)
+            for row, (subset, weight) in enumerate(self._table.items()):
+                if subset:
+                    mask[row, list(subset)] = 1.0
+                weights[row] = weight
+            self._support_cache = (mask, weights)
+        return self._support_cache
+
     # ------------------------------------------------------------------ #
     # SubsetDistribution interface
     # ------------------------------------------------------------------ #
     def counting(self, given: Iterable[int] = ()) -> float:
         base = set(check_subset(given, self.n))
         return sum(w for s, w in self._table.items() if base.issubset(s))
+
+    def counting_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Answer a whole batch with one vectorized pass over the table.
+
+        ``T ⊆ S`` iff ``|T ∩ S| = |T|``; the intersection sizes for every
+        (query, support) pair come from a single mask matmul, so the batch
+        costs one ``(batch, n) x (n, support)`` product instead of
+        ``batch * support`` Python subset checks.
+        """
+        if not subsets:
+            return np.empty(0, dtype=float)
+        support_mask, weights = self._support_arrays()
+        query_mask = np.zeros((len(subsets), self.n), dtype=float)
+        sizes = np.empty(len(subsets), dtype=float)
+        for row, subset in enumerate(subsets):
+            items = check_subset(subset, self.n)
+            sizes[row] = len(items)
+            if items:
+                query_mask[row, list(items)] = 1.0
+        contained = (query_mask @ support_mask.T) >= sizes[:, None] - 0.5
+        return contained @ weights
 
     def unnormalized(self, subset: Iterable[int]) -> float:
         return self._table.get(subset_key(subset), 0.0)

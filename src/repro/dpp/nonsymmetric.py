@@ -25,6 +25,13 @@ import numpy as np
 from repro.distributions.base import HomogeneousDistribution, SubsetDistribution
 from repro.dpp.kernels import ensemble_to_kernel, validate_ensemble
 from repro.dpp.likelihood import all_principal_minor_sums, dpp_unnormalized, sum_principal_minors
+from repro.linalg.batch import (
+    batched_esp,
+    batched_schur_complements,
+    group_by_size,
+    grouped_principal_minors,
+    stacked_principal_submatrices,
+)
 from repro.linalg.determinant import principal_minor
 from repro.linalg.schur import condition_ensemble
 from repro.pram.tracker import current_tracker
@@ -85,6 +92,11 @@ class NonsymmetricDPP(SubsetDistribution):
             remaining = [i for i in range(self.n) if i not in items]
             marginals[remaining] = np.clip(np.diag(conditioned.kernel), 0.0, 1.0)
         return marginals
+
+    def counting_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Counting values for many (mixed-size) ``T``: ``det(K_T) · det(I + L)``."""
+        minors = grouped_principal_minors(self.kernel, subsets)
+        return np.clip(minors, 0.0, None) * self.partition_function()
 
     def cardinality_distribution(self) -> np.ndarray:
         sums = all_principal_minor_sums(self.L)
@@ -152,20 +164,41 @@ class NonsymmetricKDPP(HomogeneousDistribution):
         return det_t * max(sum_principal_minors(L_cond, self.k - t), 0.0)
 
     def marginal_vector(self, given: Iterable[int] = ()) -> np.ndarray:
-        """Exclusion identity ``P[i ∈ S | T] = 1 - e_{k'}(L^T_{-i}) / e_{k'}(L^T)``."""
+        """Exclusion identity ``P[i ∈ S | T] = 1 - e_{k'}(L^T_{-i}) / e_{k'}(L^T)``.
+
+        All ``n`` leave-one-out minor sums are evaluated with one stacked
+        eigenvalue call plus a batched ESP (one adaptive round).
+        """
         items = check_subset(given, self.n)
         tracker = current_tracker()
         with tracker.round("nkdpp-marginals"):
             target = self.condition(items) if items else self
             kk = target.k
             z = target.partition_function()
-            inner = np.zeros(target.n, dtype=float)
-            tracker.charge(machines=float(target.n))
-            for i in range(target.n):
-                keep = [j for j in range(target.n) if j != i]
-                reduced = target.L[np.ix_(keep, keep)]
-                excluded = max(sum_principal_minors(reduced, kk), 0.0)
-                inner[i] = 1.0 - min(excluded / z, 1.0)
+            m = target.n
+            tracker.charge(machines=float(m))
+            tracker.charge_determinant(max(m - 1, 0), count=m)
+            if m <= 1 or kk > m - 1:
+                # dropping any row leaves fewer than k' elements -> excluded
+                # mass is zero and every marginal is 1 (or the set is trivial)
+                inner = np.ones(m, dtype=float) if kk > m - 1 else np.zeros(m, dtype=float)
+                if m == 1 and kk == 0:
+                    inner[:] = 0.0
+            else:
+                keep = np.array([[j for j in range(m) if j != i] for i in range(m)])
+                # chunk the stacked eigenvalue call: one (chunk, m-1, m-1)
+                # block at a time keeps memory at O(chunk * m^2) instead of
+                # materializing all n leave-one-out submatrices at once
+                chunk = max(1, min(m, int(2 ** 24 // max((m - 1) ** 2, 1)) or 1))
+                excluded = np.empty(m, dtype=float)
+                for start in range(0, m, chunk):
+                    block = keep[start:start + chunk]
+                    stacked = target.L[block[:, :, None], block[:, None, :]]
+                    spectra = np.linalg.eigvals(stacked)
+                    esp = batched_esp(spectra, kk)
+                    excluded[start:start + chunk] = np.clip(
+                        np.real_if_close(esp[:, kk], tol=1e8).real, 0.0, None)
+                inner = 1.0 - np.minimum(excluded / z, 1.0)
             marginals = np.ones(self.n, dtype=float)
             if items:
                 remaining = [i for i in range(self.n) if i not in items]
@@ -174,14 +207,46 @@ class NonsymmetricKDPP(HomogeneousDistribution):
                 marginals = np.clip(inner, 0.0, 1.0)
         return marginals
 
+    def counting_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """``det(L_T) · e_{k-t}(λ(L^T))`` for many ``T`` via stacked linalg.
+
+        Each equal-size group costs one batched determinant, one batched
+        Schur complement, one stacked (complex) eigenvalue call, and a
+        batched ESP evaluation — mirroring the scalar route of
+        :meth:`counting` operation for operation.
+        """
+        values = np.zeros(len(subsets), dtype=float)
+        tracker = current_tracker()
+        for t, positions in group_by_size(subsets).items():
+            group = [subsets[p] for p in positions]
+            if t > self.k:
+                continue
+            if t == 0:
+                values[positions] = self.partition_function()
+                continue
+            tracker.charge_determinant(t, count=len(group))
+            dets = np.linalg.det(stacked_principal_submatrices(self.L, group))
+            if t == self.k:
+                values[positions] = np.where(dets > 0, dets, 0.0)
+                continue
+            ok = np.flatnonzero(dets > 0)
+            if ok.size == 0:
+                continue
+            schur, _ = batched_schur_complements(self.L, [group[i] for i in ok])
+            spectra = np.linalg.eigvals(schur)
+            esp = batched_esp(spectra, self.k - t)
+            inner = np.real_if_close(esp[:, self.k - t], tol=1e8).real
+            out = np.zeros(len(group), dtype=float)
+            out[ok] = dets[ok] * np.clip(inner, 0.0, None)
+            values[positions] = out
+        return values
+
     def joint_marginals_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
         z = self.partition_function()
         tracker = current_tracker()
-        values = np.empty(len(subsets), dtype=float)
         with tracker.round("nkdpp-joint-marginals"):
             tracker.charge(machines=float(len(subsets)))
-            for idx, subset in enumerate(subsets):
-                values[idx] = self.counting(subset) / z
+            values = self.counting_batch(subsets) / z
         return np.clip(values, 0.0, None)
 
     # ------------------------------------------------------------------ #

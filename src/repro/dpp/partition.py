@@ -23,8 +23,13 @@ import numpy as np
 from repro.distributions.base import HomogeneousDistribution
 from repro.dpp.kernels import validate_ensemble
 from repro.dpp.likelihood import dpp_unnormalized
+from repro.linalg.batch import (
+    batched_schur_complements,
+    group_by_size,
+    stacked_principal_submatrices,
+)
 from repro.linalg.determinant import principal_minor
-from repro.linalg.interpolation import multivariate_coefficients_from_evaluations
+from repro.linalg.interpolation import tensor_product_nodes, tensor_vandermonde_solve
 from repro.linalg.schur import condition_ensemble
 from repro.pram.tracker import current_tracker
 from repro.utils.validation import check_subset
@@ -102,7 +107,12 @@ class PartitionDPP(HomogeneousDistribution):
     @staticmethod
     def _constrained_count(L: np.ndarray, part_of: np.ndarray, part_sizes: Sequence[int],
                            counts: Sequence[int]) -> float:
-        """Coefficient of ``∏ z_i^{c_i}`` in ``det(I + L diag(z_{part})``."""
+        """Coefficient of ``∏ z_i^{c_i}`` in ``det(I + L diag(z_{part})``.
+
+        All grid evaluations of the generating polynomial are one stacked
+        determinant call (one batched ``Õ(1)``-depth round), followed by the
+        tensor-product Vandermonde solve.
+        """
         n = L.shape[0]
         if any(c < 0 for c in counts):
             return 0.0
@@ -110,15 +120,18 @@ class PartitionDPP(HomogeneousDistribution):
             return 0.0
         if n == 0:
             return 1.0 if all(c == 0 for c in counts) else 0.0
-        degrees = list(part_sizes)
-        eye = np.eye(n)
-
-        def evaluate(point: Sequence[float]) -> float:
-            weights = np.array([point[part_of[i]] for i in range(n)])
-            current_tracker().charge_determinant(n)
-            return float(np.linalg.det(eye + L * weights[np.newaxis, :]))
-
-        coeffs = multivariate_coefficients_from_evaluations(evaluate, degrees, node_scale=1.0)
+        node_sets = tensor_product_nodes(part_sizes, node_scale=1.0)
+        grid_shape = tuple(len(nodes) for nodes in node_sets)
+        # row-major grid of evaluation points, one row per grid node
+        points = np.stack(np.meshgrid(*node_sets, indexing="ij"), axis=-1).reshape(-1, len(node_sets))
+        weights = points[:, part_of]                      # (grid, n) column scalings
+        tracker = current_tracker()
+        with tracker.round("interpolation-evaluations"):
+            tracker.charge(machines=float(weights.shape[0]))
+            tracker.charge_determinant(n, count=weights.shape[0])
+            stacked = np.eye(n)[None] + L[None] * weights[:, None, :]
+            values = np.linalg.det(stacked).reshape(grid_shape)
+        coeffs = tensor_vandermonde_solve(values, node_sets)
         value = float(coeffs[tuple(counts)])
         return max(value, 0.0)
 
@@ -155,25 +168,63 @@ class PartitionDPP(HomogeneousDistribution):
         denom = self.counting(items)
         if denom <= 0:
             raise ValueError(f"conditioning event {items} has zero probability")
-        marginals = np.zeros(self.n, dtype=float)
+        item_set = set(items)
+        outside = [i for i in range(self.n) if i not in item_set]
+        queries = [tuple(sorted(items + (i,))) for i in outside]
+        marginals = np.ones(self.n, dtype=float)
         tracker = current_tracker()
         with tracker.round("partition-dpp-marginals"):
             tracker.charge(machines=float(self.n))
-            for i in range(self.n):
-                if i in items:
-                    marginals[i] = 1.0
-                else:
-                    marginals[i] = self.counting(tuple(sorted(items + (i,)))) / denom
+            marginals[outside] = self.counting_batch(queries) / denom
         return np.clip(marginals, 0.0, 1.0)
+
+    def counting_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
+        """Batched counting: stacked ``det(L_T)`` and Schur complements per
+        size group, then the (internally stacked-grid) interpolation oracle
+        per surviving subset."""
+        values = np.zeros(len(subsets), dtype=float)
+        tracker = current_tracker()
+        for t, positions in group_by_size(subsets).items():
+            group = [check_subset(subsets[p], self.n) for p in positions]
+            if t == 0:
+                values[positions] = self.partition_function()
+                continue
+            reduced_counts_group: List[Optional[List[int]]] = []
+            for items in group:
+                taken = [0] * self.r
+                for item in items:
+                    taken[self._part_of[item]] += 1
+                reduced = [c - took for c, took in zip(self.counts, taken)]
+                reduced_counts_group.append(None if any(c < 0 for c in reduced) else reduced)
+            tracker.charge_determinant(t, count=len(group))
+            dets = np.linalg.det(stacked_principal_submatrices(self.L, group))
+            feasible = np.array([rc is not None for rc in reduced_counts_group])
+            ok = np.flatnonzero(feasible & (dets > 0))
+            if ok.size == 0:
+                continue
+            if t == self.k:
+                out = np.zeros(len(group), dtype=float)
+                out[ok] = dets[ok]
+                values[positions] = out
+                continue
+            schur, remaining = batched_schur_complements(self.L, [group[i] for i in ok])
+            out = np.zeros(len(group), dtype=float)
+            for row, i in enumerate(ok):
+                L_cond = 0.5 * (schur[row] + schur[row].T)
+                part_of_reduced = self._part_of[remaining[row]]
+                part_sizes = [int(np.sum(part_of_reduced == idx)) for idx in range(self.r)]
+                inner = self._constrained_count(L_cond, part_of_reduced, part_sizes,
+                                               reduced_counts_group[i])
+                out[i] = dets[i] * inner
+            values[positions] = out
+        return values
 
     def joint_marginals_batch(self, subsets: Sequence[Sequence[int]]) -> np.ndarray:
         z = self.partition_function()
         tracker = current_tracker()
-        values = np.empty(len(subsets), dtype=float)
         with tracker.round("partition-dpp-joint-marginals"):
             tracker.charge(machines=float(len(subsets)))
-            for idx, subset in enumerate(subsets):
-                values[idx] = self.counting(subset) / z
+            values = self.counting_batch(subsets) / z
         return np.clip(values, 0.0, None)
 
     # ------------------------------------------------------------------ #

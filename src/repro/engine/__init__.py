@@ -1,0 +1,75 @@
+"""Vectorized oracle-batch engine with pluggable execution backends.
+
+The paper's speedup story is that each adaptive round issues *many
+independent counting-oracle queries at once*.  This package makes that round
+a first-class object and separates the *what* from the *how*:
+
+::
+
+    sampler round                engine                      oracle layer
+    -------------                ------                      ------------
+    adaptive round  --builds-->  OracleBatch  --executed-->  counting_batch /
+    (marginals,                  (queries,       by an       joint_marginals_batch /
+     density ratios)              normalizer)  ExecutionBackend  stacked linalg
+
+* :class:`~repro.engine.batch.OracleBatch` — a declarative request: many
+  subsets against one distribution (or matrix), answered in one round.
+* :class:`~repro.engine.backends.ExecutionBackend` — how the round fans out:
+  :class:`~repro.engine.backends.SerialBackend` (reference scalar loop),
+  :class:`~repro.engine.backends.VectorizedBackend` (stacked NumPy via the
+  distributions' batch oracles and :mod:`repro.linalg.batch`), and
+  :class:`~repro.engine.backends.ThreadPoolBackend`
+  (``concurrent.futures`` fan-out).
+* :func:`~repro.engine.config.configure_backend` /
+  :func:`~repro.engine.config.use_backend` — process-wide / scoped selection;
+  every sampler additionally accepts ``backend=...`` per call.
+
+Backends answer the *same* queries with the same numerics, so fixed-seed
+sampler runs produce identical samples across backends; the PRAM tracker
+records one round per batch regardless of execution strategy, which keeps the
+paper's depth accounting independent of wall-clock engineering.
+"""
+
+from repro.engine.batch import BATCH_KINDS, OracleBatch, OracleBatchResult
+from repro.engine.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    VectorizedBackend,
+)
+from repro.engine.config import (
+    BACKEND_REGISTRY,
+    BackendLike,
+    configure_backend,
+    current_backend,
+    resolve_backend,
+    use_backend,
+)
+
+from typing import Optional
+
+from repro.pram.tracker import Tracker
+
+
+def execute_batch(batch: OracleBatch, *, tracker: Optional[Tracker] = None,
+                  backend=None) -> OracleBatchResult:
+    """Execute ``batch`` on ``backend`` (or the currently configured one)."""
+    return resolve_backend(backend).execute(batch, tracker=tracker)
+
+
+__all__ = [
+    "BATCH_KINDS",
+    "OracleBatch",
+    "OracleBatchResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "VectorizedBackend",
+    "ThreadPoolBackend",
+    "BACKEND_REGISTRY",
+    "BackendLike",
+    "configure_backend",
+    "current_backend",
+    "resolve_backend",
+    "use_backend",
+    "execute_batch",
+]

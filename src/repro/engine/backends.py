@@ -1,0 +1,206 @@
+"""Pluggable execution backends for :class:`~repro.engine.batch.OracleBatch`.
+
+A backend decides *how* one adaptive round's independent oracle queries are
+answered; it never changes *what* is asked, so fixed-seed sampler runs produce
+identical samples no matter which backend executes them.
+
+* :class:`SerialBackend` — the reference loop over scalar ``counting()``
+  calls; what the pre-engine drivers did implicitly.
+* :class:`VectorizedBackend` — dispatches to the distribution's batch-aware
+  oracles (``counting_batch`` / ``joint_marginals_batch``), which fan out via
+  the stacked NumPy primitives in :mod:`repro.linalg.batch`.
+* :class:`ThreadPoolBackend` — ``concurrent.futures`` fan-out of scalar
+  queries; NumPy releases the GIL inside LAPACK so large per-query
+  determinants overlap on multicore hosts.
+
+Every backend charges the PRAM tracker identically: one adaptive round per
+batch, ``n_queries`` machines, with per-query determinant work charged by the
+oracles themselves — so depth/work accounting and wall-clock measurement live
+side by side in :class:`~repro.engine.batch.OracleBatchResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.batch import OracleBatch, OracleBatchResult
+from repro.linalg.batch import grouped_log_principal_minors
+from repro.pram.tracker import Tracker, current_tracker, use_tracker
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for answering one :class:`OracleBatch`."""
+
+    #: short identifier used by ``configure_backend`` and reports
+    name: str = "abstract"
+
+    def execute(self, batch: OracleBatch, *, tracker: Optional[Tracker] = None) -> OracleBatchResult:
+        """Answer ``batch`` inside one adaptive round of ``tracker``."""
+        trk = tracker if tracker is not None else current_tracker()
+        start = time.perf_counter()
+        with trk.round(batch.label):
+            trk.charge(machines=float(batch.n_queries))
+            with use_tracker(trk):
+                values = self._dispatch(batch, trk)
+        return OracleBatchResult(
+            values=np.asarray(values),
+            backend=self.name,
+            wall_time=time.perf_counter() - start,
+            n_queries=batch.n_queries,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        if batch.kind == "counting":
+            return self._counting(batch, tracker)
+        if batch.kind == "joint_marginals":
+            return self._joint_marginals(batch, tracker)
+        if batch.kind == "marginal_vector":
+            return self._marginal_vector(batch, tracker)
+        return self._log_principal_minors(batch, tracker)
+
+    def _marginal_vector(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        # All backends use the distribution's native single-round route: it is
+        # already vectorized per distribution, and sharing it keeps the
+        # proposal numerics identical across backends.
+        assert batch.distribution is not None
+        return batch.distribution.marginal_vector(batch.given)
+
+    @abc.abstractmethod
+    def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        """Raw counting values for ``batch.subsets``."""
+
+    @abc.abstractmethod
+    def _joint_marginals(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        """``P[T ⊆ S]`` for ``batch.subsets``."""
+
+    @abc.abstractmethod
+    def _log_principal_minors(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        """``log det(M_{T,T})`` (``-inf`` on nonpositive minors)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference implementation: a Python loop of scalar oracle calls."""
+
+    name = "serial"
+
+    def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        dist = batch.distribution
+        assert dist is not None
+        return np.array([dist.counting(s) for s in batch.subsets], dtype=float)
+
+    def _joint_marginals(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        dist = batch.distribution
+        assert dist is not None
+        z = batch.normalizer()
+        values = np.array([dist.counting(s) for s in batch.subsets], dtype=float)
+        return np.clip(values / z, 0.0, None)
+
+    def _log_principal_minors(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        matrix = batch.matrix
+        assert matrix is not None
+        values = np.full(len(batch.subsets), -np.inf)
+        for pos, subset in enumerate(batch.subsets):
+            m = len(subset)
+            tracker.charge_determinant(m)
+            if m == 0:
+                values[pos] = 0.0
+                continue
+            idx = np.asarray(subset, dtype=int)
+            sign, logdet = np.linalg.slogdet(matrix[np.ix_(idx, idx)])
+            if sign > 0:
+                values[pos] = logdet
+        return values
+
+
+class VectorizedBackend(ExecutionBackend):
+    """One stacked NumPy call per batch via the distributions' batch oracles."""
+
+    name = "vectorized"
+
+    def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        dist = batch.distribution
+        assert dist is not None
+        return np.asarray(dist.counting_batch(batch.subsets), dtype=float)
+
+    def _joint_marginals(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        dist = batch.distribution
+        assert dist is not None
+        return np.asarray(dist.joint_marginals_batch(batch.subsets), dtype=float)
+
+    def _log_principal_minors(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        assert batch.matrix is not None
+        return grouped_log_principal_minors(batch.matrix, batch.subsets)
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """``concurrent.futures`` fan-out of scalar queries across worker threads.
+
+    Workers run under private child trackers (the module-level current
+    tracker is a :mod:`contextvars` variable, so worker threads would
+    otherwise charge an unrelated sink); their work/oracle-call totals are
+    merged into the round's tracker after the batch completes, keeping the
+    accounting equivalent to :class:`SerialBackend` without cross-thread
+    mutation.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def _map_chunks(self, worker, items: Sequence, tracker: Tracker) -> List:
+        if not items:
+            return []
+        pool_size = self.max_workers or min(32, len(items))
+        chunk = max(1, int(math.ceil(len(items) / pool_size)))
+        chunks = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+
+        def run_chunk(part):
+            child = tracker.spawn()
+            with use_tracker(child):
+                return [worker(item) for item in part], child
+
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            outputs = list(pool.map(run_chunk, chunks))
+        results: List = []
+        for part_values, child in outputs:
+            results.extend(part_values)
+            tracker.charge(work=child.work, oracle_calls=child.oracle_calls)
+        return results
+
+    def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        dist = batch.distribution
+        assert dist is not None
+        return np.array(self._map_chunks(dist.counting, batch.subsets, tracker), dtype=float)
+
+    def _joint_marginals(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        dist = batch.distribution
+        assert dist is not None
+        z = batch.normalizer()
+        values = np.array(self._map_chunks(dist.counting, batch.subsets, tracker), dtype=float)
+        return np.clip(values / z, 0.0, None)
+
+    def _log_principal_minors(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        matrix = batch.matrix
+        assert matrix is not None
+
+        def one(subset):
+            m = len(subset)
+            current_tracker().charge_determinant(m)
+            if m == 0:
+                return 0.0
+            idx = np.asarray(subset, dtype=int)
+            sign, logdet = np.linalg.slogdet(matrix[np.ix_(idx, idx)])
+            return logdet if sign > 0 else -np.inf
+
+        return np.array(self._map_chunks(one, batch.subsets, tracker), dtype=float)

@@ -1,0 +1,132 @@
+"""The ``OracleBatch`` request/response protocol.
+
+One adaptive round of the paper's samplers is *many independent
+counting-oracle queries* against a single distribution (or matrix).  An
+:class:`OracleBatch` captures that round declaratively — what is asked, of
+whom — so an :class:`~repro.engine.backends.ExecutionBackend` can decide *how*
+to answer it: a Python loop, one stacked NumPy call, or a thread pool.
+
+Batch kinds
+-----------
+
+``counting``
+    Raw counting-oracle values ``Σ { μ(S) : T ⊆ S }`` for each subset ``T``.
+``joint_marginals``
+    Normalized joint marginals ``P[T ⊆ S]``.  The normalizer ``μ([n])`` is
+    computed **once per batch** and cached on the request (it used to be
+    recomputed per query by the generic fallback).
+``marginal_vector``
+    All conditional marginals ``P[i ∈ S | given]``.  Every backend answers
+    this through the distribution's own (already single-round) vectorized
+    route so that backend choice never changes the numerical path of the
+    proposal distribution.
+``log_principal_minors``
+    ``log det(M_{T,T})`` for mixed-size subsets of an explicit matrix
+    (``-inf`` where the minor is nonpositive) — the filtering sampler's
+    density-ratio round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.utils.subsets import Subset, subset_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.distributions.base import SubsetDistribution
+
+#: the four request kinds understood by every backend
+BATCH_KINDS = ("counting", "joint_marginals", "marginal_vector", "log_principal_minors")
+
+
+@dataclass
+class OracleBatch:
+    """A declarative request for one adaptive round of oracle queries."""
+
+    kind: str
+    distribution: Optional["SubsetDistribution"] = None
+    subsets: Tuple[Subset, ...] = ()
+    given: Subset = ()
+    matrix: Optional[np.ndarray] = None
+    label: str = "oracle-batch"
+    _normalizer: Optional[float] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in BATCH_KINDS:
+            raise ValueError(f"unknown batch kind {self.kind!r}; expected one of {BATCH_KINDS}")
+        if self.kind == "log_principal_minors":
+            if self.matrix is None:
+                raise ValueError("log_principal_minors batches require a matrix")
+        elif self.distribution is None:
+            raise ValueError(f"{self.kind} batches require a distribution")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def counting(cls, distribution: "SubsetDistribution",
+                 subsets: Sequence[Sequence[int]], *, label: str = "counting-batch") -> "OracleBatch":
+        return cls(kind="counting", distribution=distribution,
+                   subsets=tuple(subset_key(s) for s in subsets), label=label)
+
+    @classmethod
+    def joint_marginals(cls, distribution: "SubsetDistribution",
+                        subsets: Sequence[Sequence[int]], *,
+                        label: str = "joint-marginals") -> "OracleBatch":
+        return cls(kind="joint_marginals", distribution=distribution,
+                   subsets=tuple(subset_key(s) for s in subsets), label=label)
+
+    @classmethod
+    def marginal_vector(cls, distribution: "SubsetDistribution",
+                        given: Sequence[int] = (), *,
+                        label: str = "marginal-vector") -> "OracleBatch":
+        return cls(kind="marginal_vector", distribution=distribution,
+                   given=subset_key(given), label=label)
+
+    @classmethod
+    def log_principal_minors(cls, matrix: np.ndarray, subsets: Sequence[Sequence[int]], *,
+                             label: str = "log-principal-minors") -> "OracleBatch":
+        return cls(kind="log_principal_minors", matrix=matrix,
+                   subsets=tuple(subset_key(s) for s in subsets), label=label)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_queries(self) -> int:
+        """Number of independent machines this round fans out to."""
+        if self.kind == "marginal_vector":
+            assert self.distribution is not None
+            return self.distribution.n
+        return len(self.subsets)
+
+    def normalizer(self) -> float:
+        """Total mass ``μ([n])`` of the batch's distribution, computed once.
+
+        Cached on the request so backends answering ``joint_marginals``
+        through scalar ``counting()`` calls charge the normalizer exactly
+        once per batch instead of once per query.
+        """
+        if self.distribution is None:
+            raise ValueError("normalizer() requires a distribution-backed batch")
+        if self._normalizer is None:
+            z = float(self.distribution.counting(()))
+            if z <= 0:
+                raise ValueError("distribution has zero total mass")
+            self._normalizer = z
+        return self._normalizer
+
+
+@dataclass
+class OracleBatchResult:
+    """A batch's vectorized answer plus execution metadata."""
+
+    #: one value per query, in request order
+    values: np.ndarray
+    #: name of the backend that answered
+    backend: str
+    #: wall-clock seconds spent answering (side by side with PRAM depth)
+    wall_time: float
+    #: number of queries answered
+    n_queries: int

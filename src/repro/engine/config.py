@@ -1,0 +1,89 @@
+"""Backend selection: ``repro.configure_backend(...)`` and friends.
+
+The process-wide default backend is set with :func:`configure_backend`;
+:func:`use_backend` scopes an override to a ``with`` block (it is a
+:mod:`contextvars` variable, so concurrent samplers can pin different
+backends); every sampler also accepts ``backend=...`` per call, resolved by
+:func:`resolve_backend` with precedence *call argument > context > global*.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator, Optional, Union
+
+from repro.engine.backends import (
+    ExecutionBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    VectorizedBackend,
+)
+
+BackendLike = Union[str, ExecutionBackend, None]
+
+#: registry of constructible backend names
+BACKEND_REGISTRY = {
+    "serial": SerialBackend,
+    "vectorized": VectorizedBackend,
+    "threads": ThreadPoolBackend,
+    "threadpool": ThreadPoolBackend,
+}
+
+_default_backend: ExecutionBackend = VectorizedBackend()
+_context_backend: ContextVar[Optional[ExecutionBackend]] = ContextVar(
+    "repro_current_backend", default=None
+)
+
+
+def _construct(spec: BackendLike, **options) -> ExecutionBackend:
+    if isinstance(spec, ExecutionBackend):
+        if options:
+            raise ValueError("options are only accepted together with a backend name")
+        return spec
+    if isinstance(spec, str):
+        try:
+            factory = BACKEND_REGISTRY[spec.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; available: {sorted(set(BACKEND_REGISTRY))}"
+            ) from None
+        return factory(**options)
+    raise TypeError(f"backend must be a name or ExecutionBackend, got {type(spec).__name__}")
+
+
+def configure_backend(backend: BackendLike = "vectorized", **options) -> ExecutionBackend:
+    """Set the process-wide default execution backend.
+
+    ``backend`` is a name (``"serial"``, ``"vectorized"``, ``"threads"``) or a
+    ready :class:`ExecutionBackend` instance; ``options`` are forwarded to the
+    named backend's constructor (e.g. ``max_workers`` for ``"threads"``).
+    Returns the installed backend.
+    """
+    global _default_backend
+    _default_backend = _construct(backend, **options)
+    return _default_backend
+
+
+def current_backend() -> ExecutionBackend:
+    """The backend samplers use when no per-call override is given."""
+    scoped = _context_backend.get()
+    return scoped if scoped is not None else _default_backend
+
+
+def resolve_backend(spec: BackendLike = None) -> ExecutionBackend:
+    """Resolve a per-call ``backend=`` argument (``None`` -> current backend)."""
+    if spec is None:
+        return current_backend()
+    return _construct(spec)
+
+
+@contextlib.contextmanager
+def use_backend(backend: BackendLike, **options) -> Iterator[ExecutionBackend]:
+    """Scope a backend override to a ``with`` block."""
+    resolved = _construct(backend, **options)
+    token = _context_backend.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _context_backend.reset(token)

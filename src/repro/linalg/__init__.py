@@ -16,10 +16,21 @@ from repro.linalg.determinant import (
 )
 from repro.linalg.schur import schur_complement, condition_ensemble, condition_kernel
 from repro.linalg.esp import elementary_symmetric_polynomials, esp_from_matrix
+from repro.linalg.batch import (
+    batched_esp,
+    batched_schur_complements,
+    grouped_log_principal_minors,
+    grouped_principal_minors,
+    lowrank_conditioned_gram,
+    psd_factor,
+    stacked_principal_submatrices,
+)
 from repro.linalg.interpolation import (
     vandermonde_solve,
     univariate_coefficients_from_evaluations,
     multivariate_coefficients_from_evaluations,
+    tensor_product_nodes,
+    tensor_vandermonde_solve,
 )
 from repro.linalg.psd import (
     is_psd,
@@ -42,9 +53,18 @@ __all__ = [
     "condition_kernel",
     "elementary_symmetric_polynomials",
     "esp_from_matrix",
+    "batched_esp",
+    "batched_schur_complements",
+    "grouped_log_principal_minors",
+    "grouped_principal_minors",
+    "lowrank_conditioned_gram",
+    "psd_factor",
+    "stacked_principal_submatrices",
     "vandermonde_solve",
     "univariate_coefficients_from_evaluations",
     "multivariate_coefficients_from_evaluations",
+    "tensor_product_nodes",
+    "tensor_vandermonde_solve",
     "is_psd",
     "is_npsd",
     "project_psd",

@@ -56,6 +56,43 @@ def univariate_coefficients_from_evaluations(evaluate: Callable[[float], float],
     return vandermonde_solve(nodes, values)
 
 
+def tensor_product_nodes(degrees: Sequence[int], *, node_scale: float = 1.0) -> list:
+    """Chebyshev-spaced node sets for a tensor-product interpolation grid.
+
+    ``degrees[i]`` is the maximum degree in variable ``i``; axis ``i`` gets
+    ``degrees[i] + 1`` strictly positive nodes.
+    """
+    degs = [int(d) for d in degrees]
+    if any(d < 0 for d in degs):
+        raise ValueError("degrees must be nonnegative")
+    node_sets = []
+    for m in (d + 1 for d in degs):
+        if m == 1:
+            node_sets.append(np.array([node_scale]))
+        else:
+            cheb = np.cos((2 * np.arange(m) + 1) * np.pi / (2 * m))
+            node_sets.append(node_scale * (cheb + 1.0) + node_scale * 1e-3)
+    return node_sets
+
+
+def tensor_vandermonde_solve(values: np.ndarray, node_sets: Sequence[np.ndarray]) -> np.ndarray:
+    """Invert the tensor-product Vandermonde system one axis at a time.
+
+    ``values`` has shape ``tuple(len(nodes) for nodes in node_sets)``; the
+    result holds ``coeffs[a_1, ..., a_r]``, the coefficient of ``∏ z_i^{a_i}``.
+    """
+    tracker = current_tracker()
+    coeffs = np.asarray(values, dtype=float)
+    for axis, nodes in enumerate(node_sets):
+        vander = np.vander(nodes, increasing=True)
+        coeffs = np.moveaxis(coeffs, axis, 0)
+        flat = coeffs.reshape(coeffs.shape[0], -1)
+        solved = np.linalg.solve(vander, flat)
+        coeffs = np.moveaxis(solved.reshape(coeffs.shape), 0, axis)
+        tracker.charge(work=float(len(nodes)) ** 3, machines=float(flat.shape[1]))
+    return coeffs
+
+
 def multivariate_coefficients_from_evaluations(evaluate: Callable[[Sequence[float]], float],
                                                degrees: Sequence[int],
                                                *, node_scale: float = 1.0) -> np.ndarray:
@@ -70,34 +107,13 @@ def multivariate_coefficients_from_evaluations(evaluate: Callable[[Sequence[floa
     oracle round followed by ``r`` rounds of Vandermonde solves along each
     axis (constant depth overall).
     """
-    degs = [int(d) for d in degrees]
-    if any(d < 0 for d in degs):
-        raise ValueError("degrees must be nonnegative")
-    shapes = [d + 1 for d in degs]
-    node_sets = []
-    for m in shapes:
-        if m == 1:
-            node_sets.append(np.array([node_scale]))
-        else:
-            cheb = np.cos((2 * np.arange(m) + 1) * np.pi / (2 * m))
-            node_sets.append(node_scale * (cheb + 1.0) + node_scale * 1e-3)
-
-    grid_shape = tuple(shapes)
+    node_sets = tensor_product_nodes(degrees, node_scale=node_scale)
+    grid_shape = tuple(len(nodes) for nodes in node_sets)
     values = np.empty(grid_shape, dtype=float)
     tracker = current_tracker()
     with tracker.round("interpolation-evaluations"):
         for multi_index in np.ndindex(*grid_shape):
-            point = [float(node_sets[axis][multi_index[axis]]) for axis in range(len(degs))]
+            point = [float(node_sets[axis][multi_index[axis]]) for axis in range(len(node_sets))]
             values[multi_index] = evaluate(point)
         tracker.charge(machines=float(values.size))
-
-    # Invert the tensor-product Vandermonde system one axis at a time.
-    coeffs = values
-    for axis, nodes in enumerate(node_sets):
-        vander = np.vander(nodes, increasing=True)
-        coeffs = np.moveaxis(coeffs, axis, 0)
-        flat = coeffs.reshape(coeffs.shape[0], -1)
-        solved = np.linalg.solve(vander, flat)
-        coeffs = np.moveaxis(solved.reshape(coeffs.shape), 0, axis)
-        tracker.charge(work=float(len(nodes)) ** 3, machines=float(flat.shape[1]))
-    return coeffs
+    return tensor_vandermonde_solve(values, node_sets)
