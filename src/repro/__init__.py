@@ -26,6 +26,14 @@ select it globally with :func:`repro.configure_backend` (``"serial"``,
 ``"vectorized"``, ``"threads"``), scope it with :func:`repro.use_backend`,
 or pass ``backend=...`` to any sampler call.
 
+Serving layer: :func:`repro.serve` opens a :class:`~repro.service.SamplerSession`
+whose repeated draws reuse cached factorizations
+(:class:`~repro.service.FactorizationCache`), with
+:class:`~repro.service.KernelRegistry` for named kernels and
+:class:`~repro.service.RoundScheduler` for fusing concurrent requests into
+shared engine rounds — fixed-seed samples are identical with and without the
+cache, and fused or unfused.
+
 Substrates: :mod:`repro.dpp` (kernels, counting oracles),
 :mod:`repro.planar` (Kasteleyn counting, separators), :mod:`repro.linalg`
 (NC-style linear algebra, batched in :mod:`repro.linalg.batch`),
@@ -35,7 +43,15 @@ independence, isotropic transform, hard instance), :mod:`repro.workloads`
 (synthetic workloads).
 """
 
-from repro import core, distributions, dpp, engine, linalg, planar, pram, utils, workloads
+from repro import core, distributions, dpp, engine, linalg, planar, pram, service, utils, workloads
+from repro.service import (
+    FactorizationCache,
+    KernelRegistry,
+    RoundScheduler,
+    SamplerSession,
+    default_registry,
+    serve,
+)
 from repro.engine import (
     OracleBatch,
     OracleBatchResult,
@@ -74,8 +90,15 @@ __all__ = [
     "linalg",
     "planar",
     "pram",
+    "service",
     "utils",
     "workloads",
+    "FactorizationCache",
+    "KernelRegistry",
+    "RoundScheduler",
+    "SamplerSession",
+    "default_registry",
+    "serve",
     "SampleResult",
     "SamplerReport",
     "Tracker",

@@ -35,6 +35,20 @@ def _lemma27_constant(k_remaining: int, ell: int) -> float:
     return math.exp(ell * ell / max(k_remaining, 1))
 
 
+def kdpp_batched_config(k: int, delta: float = 1e-2) -> BatchedSamplerConfig:
+    """The Theorem 10 driver configuration for a symmetric k-DPP.
+
+    One shared construction point: both :func:`sample_symmetric_kdpp_parallel`
+    and the serving layer's warm path use it, so the cache-on/off
+    seed-identity guarantee cannot drift out of sync with the cold default.
+    """
+    per_round = max(delta / (2.0 * math.sqrt(max(k, 1)) + 1.0), 1e-12)
+    return BatchedSamplerConfig(
+        rejection_constant=_lemma27_constant,
+        delta_per_round=per_round,
+    )
+
+
 def sample_symmetric_kdpp_parallel(L: np.ndarray, k: int, *, delta: float = 1e-2,
                                    seed: SeedLike = None, tracker: Optional[Tracker] = None,
                                    config: Optional[BatchedSamplerConfig] = None,
@@ -54,11 +68,7 @@ def sample_symmetric_kdpp_parallel(L: np.ndarray, k: int, *, delta: float = 1e-2
     """
     distribution = SymmetricKDPP(L, k)
     if config is None:
-        per_round = max(delta / (2.0 * math.sqrt(max(k, 1)) + 1.0), 1e-12)
-        config = BatchedSamplerConfig(
-            rejection_constant=_lemma27_constant,
-            delta_per_round=per_round,
-        )
+        config = kdpp_batched_config(k, delta)
     return batched_sample(distribution, config, seed, tracker=tracker, backend=backend)
 
 

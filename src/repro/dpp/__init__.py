@@ -35,6 +35,7 @@ from repro.dpp.spectral import (
     sample_dpp_spectral,
     sample_kdpp_spectral,
     select_kdpp_eigenvectors,
+    symmetrized_eigh,
 )
 from repro.dpp.elementary import dpp_size_distribution, kdpp_normalization
 from repro.dpp.exact import exact_dpp_distribution, exact_kdpp_distribution
@@ -57,6 +58,7 @@ __all__ = [
     "sample_dpp_spectral",
     "sample_kdpp_spectral",
     "select_kdpp_eigenvectors",
+    "symmetrized_eigh",
     "dpp_size_distribution",
     "kdpp_normalization",
     "exact_dpp_distribution",

@@ -47,6 +47,7 @@ class NonsymmetricDPP(SubsetDistribution):
         self.n = self.L.shape[0]
         self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
         self._kernel: Optional[np.ndarray] = None
+        self._z: Optional[float] = None
 
     @property
     def ground_labels(self) -> Tuple[int, ...]:
@@ -59,12 +60,30 @@ class NonsymmetricDPP(SubsetDistribution):
             self._kernel = ensemble_to_kernel(self.L)
         return self._kernel
 
+    def attach_precomputed(self, *, kernel: Optional[np.ndarray] = None,
+                           partition_function: Optional[float] = None) -> "NonsymmetricDPP":
+        """Install cached artifacts (marginal kernel, ``det(I + L)``).
+
+        The values must be what this class would compute itself (the serving
+        layer's factorization cache uses the identical routines), so cached
+        and uncached fixed-seed samples agree bitwise.
+        """
+        if kernel is not None:
+            if kernel.shape != self.L.shape:
+                raise ValueError("precomputed kernel has mismatched shape")
+            self._kernel = kernel
+        if partition_function is not None:
+            self._z = float(partition_function)
+        return self
+
     # ------------------------------------------------------------------ #
     def unnormalized(self, subset: Iterable[int]) -> float:
         items = check_subset(subset, self.n)
         return max(dpp_unnormalized(self.L, items), 0.0)
 
     def partition_function(self) -> float:
+        if self._z is not None:
+            return self._z
         current_tracker().charge_determinant(self.n)
         return float(np.linalg.det(np.eye(self.n) + self.L))
 
@@ -123,13 +142,19 @@ class NonsymmetricKDPP(HomogeneousDistribution):
     """Nonsymmetric k-DPP ``P[Y] ∝ det(L_Y) · 1[|Y| = k]`` with nPSD ``L``."""
 
     def __init__(self, L: np.ndarray, k: int, *, validate: bool = True,
-                 labels: Optional[Sequence[int]] = None):
+                 labels: Optional[Sequence[int]] = None,
+                 partition_function: Optional[float] = None):
         self.L = validate_ensemble(L, symmetric=False) if validate else np.asarray(L, dtype=float)
         self.n = self.L.shape[0]
         self.k = int(check_positive_int(k, "k", minimum=0)) if k else 0
         if self.k > self.n:
             raise ValueError(f"k={k} exceeds ground set size {self.n}")
         self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
+        # ``partition_function`` lets a warm factorization cache supply the
+        # (already validated) normalizer so construction skips the O(n³)
+        # characteristic-polynomial call; the value must equal what
+        # ``sum_principal_minors(L, k)`` would return.
+        self._z: Optional[float] = float(partition_function) if partition_function is not None else None
         z = self.partition_function()
         if z <= 0:
             raise ValueError(f"nonsymmetric k-DPP with k={self.k} has zero partition function")
@@ -146,6 +171,8 @@ class NonsymmetricKDPP(HomogeneousDistribution):
         return max(dpp_unnormalized(self.L, items), 0.0)
 
     def partition_function(self) -> float:
+        if self._z is not None:
+            return self._z
         return max(sum_principal_minors(self.L, self.k), 0.0)
 
     def counting(self, given: Iterable[int] = ()) -> float:

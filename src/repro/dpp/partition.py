@@ -49,7 +49,8 @@ class PartitionDPP(HomogeneousDistribution):
     """
 
     def __init__(self, L: np.ndarray, parts: Sequence[Sequence[int]], counts: Sequence[int],
-                 *, validate: bool = True, labels: Optional[Sequence[int]] = None):
+                 *, validate: bool = True, labels: Optional[Sequence[int]] = None,
+                 partition_function: Optional[float] = None):
         self.L = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
         self.n = self.L.shape[0]
         self.parts: List[Tuple[int, ...]] = [tuple(sorted(int(i) for i in part)) for part in parts]
@@ -72,7 +73,13 @@ class PartitionDPP(HomogeneousDistribution):
         for idx, part in enumerate(self.parts):
             for element in part:
                 self._part_of[element] = idx
-        if validate:
+        # ``partition_function`` lets a warm factorization cache supply the
+        # (already validated) interpolation-oracle normalizer so repeated
+        # constructions/queries on the same kernel skip the grid of stacked
+        # determinants; the value must equal what ``_constrained_count`` on
+        # the full ensemble would return.
+        self._z: Optional[float] = float(partition_function) if partition_function is not None else None
+        if validate or self._z is not None:
             z = self.partition_function()
             if z <= 0:
                 raise ValueError("partition constraints have zero probability under the DPP")
@@ -136,6 +143,8 @@ class PartitionDPP(HomogeneousDistribution):
         return max(value, 0.0)
 
     def partition_function(self) -> float:
+        if self._z is not None:
+            return self._z
         part_sizes = [len(p) for p in self.parts]
         return self._constrained_count(self.L, self._part_of, part_sizes, self.counts)
 

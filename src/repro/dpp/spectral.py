@@ -22,6 +22,42 @@ from repro.pram.tracker import current_tracker
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.subsets import subset_key
 
+#: precomputed ``(eigenvalues, eigenvectors)`` pair accepted by the samplers
+EighPair = Tuple[np.ndarray, np.ndarray]
+
+
+def symmetrized_eigh(ensemble: np.ndarray) -> EighPair:
+    """One symmetrize-then-``eigh`` with eigenvalues clipped at zero.
+
+    Both spectral samplers used to recompute ``0.5 * (L + Lᵀ)`` and its
+    eigendecomposition independently at their own call sites; routing them
+    through this single helper guarantees the two phases agree bitwise, and
+    gives the serving layer one function to memoize — a
+    :class:`repro.service.FactorizationCache` computes the pair with exactly
+    this routine and threads it back in via the samplers' ``eigh=`` argument,
+    so cached and uncached draws consume identical spectra.
+    """
+    a = np.asarray(ensemble, dtype=float)
+    eigenvalues, eigenvectors = np.linalg.eigh(0.5 * (a + a.T))
+    return np.clip(eigenvalues, 0.0, None), eigenvectors
+
+
+def _resolve_eigh(ensemble: np.ndarray, eigh: Optional[EighPair]) -> EighPair:
+    if eigh is None:
+        return symmetrized_eigh(ensemble)
+    eigenvalues, eigenvectors = eigh
+    eigenvalues = np.asarray(eigenvalues, dtype=float)
+    eigenvectors = np.asarray(eigenvectors, dtype=float)
+    n = ensemble.shape[0]
+    if eigenvalues.shape != (n,) or eigenvectors.shape != (n, n):
+        raise ValueError(
+            f"precomputed eigh has shapes {eigenvalues.shape}/{eigenvectors.shape}, "
+            f"expected ({n},)/({n}, {n})"
+        )
+    # callers may pass a raw np.linalg.eigh(L) pair; enforce the clipped-
+    # spectrum contract (a no-op on symmetrized_eigh output)
+    return np.clip(eigenvalues, 0.0, None), eigenvectors
+
 
 def _phase_two(vectors: np.ndarray, seed: SeedLike = None) -> Tuple[int, ...]:
     """HKPV phase 2: sample one element per selected eigenvector.
@@ -62,16 +98,21 @@ def _phase_two(vectors: np.ndarray, seed: SeedLike = None) -> Tuple[int, ...]:
     return subset_key(selected)
 
 
-def sample_dpp_spectral(L: np.ndarray, seed: SeedLike = None, *, validate: bool = True) -> Tuple[int, ...]:
-    """Exact sequential sample from the symmetric DPP with ensemble matrix ``L``."""
+def sample_dpp_spectral(L: np.ndarray, seed: SeedLike = None, *, validate: bool = True,
+                        eigh: Optional[EighPair] = None) -> Tuple[int, ...]:
+    """Exact sequential sample from the symmetric DPP with ensemble matrix ``L``.
+
+    ``eigh`` optionally supplies a precomputed ``symmetrized_eigh(L)`` pair
+    (e.g. from a warm factorization cache); the sampler then skips the
+    eigendecomposition while drawing the identical sample for a fixed seed.
+    """
     ensemble = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
     rng = as_generator(seed)
     tracker = current_tracker()
     n = ensemble.shape[0]
     with tracker.round("hkpv-eigendecomposition"):
         tracker.charge_determinant(n)
-        eigenvalues, eigenvectors = np.linalg.eigh(0.5 * (ensemble + ensemble.T))
-        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        eigenvalues, eigenvectors = _resolve_eigh(ensemble, eigh)
     include = rng.random(n) < eigenvalues / (1.0 + eigenvalues)
     if not np.any(include):
         return ()
@@ -114,8 +155,13 @@ def select_kdpp_eigenvectors(eigenvalues: np.ndarray, k: int, seed: SeedLike = N
 
 
 def sample_kdpp_spectral(L: np.ndarray, k: int, seed: SeedLike = None, *,
-                         validate: bool = True) -> Tuple[int, ...]:
-    """Exact sequential sample from the symmetric k-DPP with ensemble matrix ``L``."""
+                         validate: bool = True,
+                         eigh: Optional[EighPair] = None) -> Tuple[int, ...]:
+    """Exact sequential sample from the symmetric k-DPP with ensemble matrix ``L``.
+
+    ``eigh`` optionally supplies a precomputed ``symmetrized_eigh(L)`` pair;
+    see :func:`sample_dpp_spectral`.
+    """
     ensemble = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
     rng = as_generator(seed)
     tracker = current_tracker()
@@ -124,7 +170,6 @@ def sample_kdpp_spectral(L: np.ndarray, k: int, seed: SeedLike = None, *,
         return ()
     with tracker.round("hkpv-eigendecomposition"):
         tracker.charge_determinant(n)
-        eigenvalues, eigenvectors = np.linalg.eigh(0.5 * (ensemble + ensemble.T))
-        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        eigenvalues, eigenvectors = _resolve_eigh(ensemble, eigh)
     include = select_kdpp_eigenvectors(eigenvalues, k, rng)
     return _phase_two(eigenvectors[:, include], rng)

@@ -46,6 +46,7 @@ class SymmetricDPP(SubsetDistribution):
         self.n = self.L.shape[0]
         self._labels = tuple(int(i) for i in labels) if labels is not None else tuple(range(self.n))
         self._kernel: Optional[np.ndarray] = None
+        self._z: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -59,6 +60,24 @@ class SymmetricDPP(SubsetDistribution):
             self._kernel = ensemble_to_kernel(self.L)
         return self._kernel
 
+    def attach_precomputed(self, *, kernel: Optional[np.ndarray] = None,
+                           partition_function: Optional[float] = None) -> "SymmetricDPP":
+        """Install cached artifacts so later queries skip recomputation.
+
+        The serving layer's :class:`~repro.service.cache.FactorizationCache`
+        computes the artifacts with the same routines this class would use
+        (``kernel`` via :func:`repro.dpp.kernels.ensemble_to_kernel`,
+        ``partition_function`` as ``det(I + L)``), so a fixed-seed sample is
+        identical with and without the cache.
+        """
+        if kernel is not None:
+            if kernel.shape != self.L.shape:
+                raise ValueError("precomputed kernel has mismatched shape")
+            self._kernel = kernel
+        if partition_function is not None:
+            self._z = float(partition_function)
+        return self
+
     # ------------------------------------------------------------------ #
     # counting oracle and densities
     # ------------------------------------------------------------------ #
@@ -67,6 +86,8 @@ class SymmetricDPP(SubsetDistribution):
         return max(dpp_unnormalized(self.L, items), 0.0)
 
     def partition_function(self) -> float:
+        if self._z is not None:
+            return self._z
         tracker = current_tracker()
         tracker.charge_determinant(self.n)
         return float(np.linalg.det(np.eye(self.n) + self.L))
@@ -182,6 +203,42 @@ class SymmetricKDPP(HomogeneousDistribution):
             factor = self.factor
             self._factor_gram = factor.T @ factor
         return self._factor_gram
+
+    def attach_precomputed(self, *, eigenvalues: Optional[np.ndarray] = None,
+                           factor: Optional[np.ndarray] = None,
+                           factor_gram: Optional[np.ndarray] = None,
+                           check_rank: bool = True) -> "SymmetricKDPP":
+        """Install cached spectral artifacts so sampling skips preprocessing.
+
+        ``eigenvalues`` must be the clipped ``eigvalsh`` spectrum of the
+        symmetrized ensemble, ``factor`` a :func:`repro.linalg.batch.psd_factor`
+        output and ``factor_gram`` its Gram companion — exactly what the
+        serving layer's factorization cache computes, so fixed-seed samples
+        agree bitwise with the uncached path.  ``check_rank`` re-runs the
+        (now cheap) feasibility check that ``validate=True`` construction
+        would have performed.
+        """
+        if eigenvalues is not None:
+            if eigenvalues.shape != (self.n,):
+                raise ValueError("precomputed eigenvalues have mismatched shape")
+            self._eigenvalues = eigenvalues
+        if factor is not None:
+            if factor.ndim != 2 or factor.shape[0] != self.n:
+                raise ValueError("precomputed factor has mismatched shape")
+            self._factor = factor
+        if factor_gram is not None:
+            if self._factor is None or factor_gram.shape != (self._factor.shape[1],) * 2:
+                raise ValueError("factor_gram requires a matching precomputed factor")
+            self._factor_gram = factor_gram
+        if check_rank and self.k > 0:
+            eigs = self.eigenvalues
+            top = float(eigs.max(initial=0.0))
+            numerical_rank = int(np.sum(eigs > 1e-10 * max(top, 1.0)))
+            if numerical_rank < self.k:
+                raise ValueError(
+                    f"k-DPP with k={self.k} has zero mass: rank of L is {numerical_rank} < k"
+                )
+        return self
 
     # ------------------------------------------------------------------ #
     def unnormalized(self, subset: Iterable[int]) -> float:

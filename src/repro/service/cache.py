@@ -1,0 +1,292 @@
+"""Factorization cache: memoized per-kernel preprocessing artifacts.
+
+Every sampler in this repository front-loads the same expensive linear
+algebra before any randomness happens: the eigendecomposition of the
+symmetrized ensemble, a rank-revealing PSD factor and its Gram companion, the
+ESP table of the spectrum, characteristic-polynomial minor sums
+(nonsymmetric kernels) and the interpolation-oracle normalizer (partition
+kernels).  Serving traffic against a registered kernel should pay those costs
+once, not per request — the amortization regime of Barthelmé–Tremblay–Amblard
+and of the preprocess-then-sample line of work in PAPERS.md.
+
+:class:`KernelFactorization` computes each artifact lazily **with the exact
+routine the corresponding sampler would run** (``np.linalg.eigvalsh`` of the
+symmetrized ensemble for :class:`~repro.dpp.symmetric.SymmetricKDPP`,
+:func:`~repro.dpp.spectral.symmetrized_eigh` for the HKPV samplers,
+:func:`~repro.linalg.batch.psd_factor`, ...), so threading a cached artifact
+back into a sampler yields bit-identical fixed-seed samples.  Note that
+``eigvalsh`` and ``eigh`` may disagree in the last ulp (different LAPACK
+drivers), which is why the cache stores *both* spectra rather than deriving
+one from the other.
+
+:class:`FactorizationCache` is the content-addressed store: artifacts are
+keyed by a SHA-256 fingerprint of the matrix bytes, entries are evicted LRU
+once ``capacity`` is exceeded, and :meth:`~FactorizationCache.invalidate`
+drops an entry explicitly (e.g. after a workload retrains its kernel).  All
+operations are thread-safe; concurrent sessions serving the same kernel share
+one entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dpp.kernels import ensemble_to_kernel
+from repro.dpp.likelihood import all_principal_minor_sums
+from repro.dpp.spectral import symmetrized_eigh
+from repro.linalg.batch import psd_factor
+from repro.linalg.esp import elementary_symmetric_polynomials
+from repro.utils.fingerprint import array_fingerprint
+
+__all__ = ["CacheStats", "KernelFactorization", "FactorizationCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`FactorizationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "invalidations": self.invalidations}
+
+
+class KernelFactorization:
+    """Lazy, memoized preprocessing artifacts for one ensemble matrix.
+
+    Artifacts materialize on first access and are retained for the lifetime
+    of the object (the enclosing cache controls the object's lifetime).  All
+    getters are thread-safe.
+    """
+
+    def __init__(self, matrix: np.ndarray, fingerprint: Optional[str] = None):
+        a = np.asarray(matrix, dtype=float)
+        if a.flags.writeable:
+            # Defensive copy: the fingerprint is computed from today's content,
+            # so a caller mutating its matrix in place must not be able to
+            # corrupt lazily materialized artifacts under the old key.
+            a = a.copy()
+            a.flags.writeable = False
+        self.matrix = a
+        self.fingerprint = fingerprint if fingerprint is not None else array_fingerprint(self.matrix)
+        self.n = self.matrix.shape[0]
+        self._lock = threading.RLock()
+        self._values: Dict[object, object] = {}
+
+    def _get(self, key: object, compute: Callable[[], object]):
+        with self._lock:
+            if key not in self._values:
+                self._values[key] = compute()
+            return self._values[key]
+
+    # ------------------------------------------------------------------ #
+    # symmetric-kernel artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def eigenvalues(self) -> np.ndarray:
+        """Clipped ``eigvalsh`` spectrum of ``0.5 (L + Lᵀ)`` — the exact
+        array :attr:`repro.dpp.symmetric.SymmetricKDPP.eigenvalues` computes."""
+        return self._get("eigenvalues", lambda: np.clip(
+            np.linalg.eigvalsh(0.5 * (self.matrix + self.matrix.T)), 0.0, None))
+
+    @property
+    def eigh_pair(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``symmetrized_eigh(L)`` — the spectral samplers' preprocessing."""
+        return self._get("eigh", lambda: symmetrized_eigh(self.matrix))
+
+    @property
+    def esp_table(self) -> np.ndarray:
+        """Full ESP table ``e_0..e_n`` of :attr:`eigenvalues`."""
+        return self._get("esp", lambda: elementary_symmetric_polynomials(self.eigenvalues))
+
+    @property
+    def size_distribution(self) -> np.ndarray:
+        """``P[|S| = t]`` of the symmetric DPP — matches
+        :func:`repro.dpp.elementary.dpp_size_distribution` bitwise."""
+        def compute():
+            esp = self.esp_table
+            total = esp.sum()
+            if total <= 0:
+                raise ValueError("ensemble matrix defines a zero measure")
+            return esp / total
+        return self._get("size_distribution", compute)
+
+    @property
+    def factor(self) -> np.ndarray:
+        """Rank-revealing ``B`` with ``L ≈ B Bᵀ`` (:func:`psd_factor`)."""
+        return self._get("factor", lambda: psd_factor(self.matrix))
+
+    @property
+    def factor_gram(self) -> np.ndarray:
+        """``BᵀB`` companion of :attr:`factor`."""
+        return self._get("factor_gram", lambda: self.factor.T @ self.factor)
+
+    @property
+    def kernel(self) -> np.ndarray:
+        """Marginal kernel ``K = L (I + L)^{-1}``."""
+        return self._get("kernel", lambda: ensemble_to_kernel(self.matrix))
+
+    @property
+    def det_identity_plus(self) -> float:
+        """``det(I + L)`` — the unconstrained DPP's partition function."""
+        return self._get("det_identity_plus", lambda: float(
+            np.linalg.det(np.eye(self.n) + self.matrix)))
+
+    # ------------------------------------------------------------------ #
+    # nonsymmetric-kernel artifacts
+    # ------------------------------------------------------------------ #
+    @property
+    def minor_sums(self) -> np.ndarray:
+        """``[Σ_{|S|=j} det(L_S)]_{j=0..n}`` via the characteristic polynomial."""
+        return self._get("minor_sums", lambda: all_principal_minor_sums(self.matrix))
+
+    def minor_sum(self, order: int) -> float:
+        """``Σ_{|S|=order} det(L_S)`` — matches
+        :func:`repro.dpp.likelihood.sum_principal_minors` value for value."""
+        if order < 0 or order > self.n:
+            return 0.0
+        if order == 0:
+            return 1.0
+        return float(self.minor_sums[order])
+
+    @property
+    def nonsym_size_distribution(self) -> np.ndarray:
+        """Cardinality distribution of the nonsymmetric DPP — matches
+        :meth:`repro.dpp.nonsymmetric.NonsymmetricDPP.cardinality_distribution`."""
+        def compute():
+            sums = np.clip(self.minor_sums, 0.0, None)
+            total = sums.sum()
+            if total <= 0:
+                raise ValueError("ensemble matrix defines a zero measure")
+            return sums / total
+        return self._get("nonsym_size_distribution", compute)
+
+    # ------------------------------------------------------------------ #
+    # partition-kernel artifacts
+    # ------------------------------------------------------------------ #
+    def partition_normalizer(self, parts: Sequence[Sequence[int]],
+                             counts: Sequence[int]) -> float:
+        """Interpolation-oracle normalizer of the Partition-DPP (memoized per
+        ``(parts, counts)``; the interpolation grid evaluation is the
+        dominant preprocessing cost of the partition sampler)."""
+        from repro.dpp.partition import PartitionDPP  # deferred: dpp -> service has no cycle, keep it that way
+
+        parts_key = tuple(tuple(sorted(int(i) for i in part)) for part in parts)
+        counts_key = tuple(int(c) for c in counts)
+
+        def compute():
+            part_of = np.empty(self.n, dtype=int)
+            for idx, part in enumerate(parts_key):
+                for element in part:
+                    part_of[element] = idx
+            part_sizes = [len(p) for p in parts_key]
+            return PartitionDPP._constrained_count(self.matrix, part_of, part_sizes, counts_key)
+
+        return self._get(("partition_z", parts_key, counts_key), compute)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by materialized artifacts (excluding the matrix itself)."""
+        with self._lock:
+            total = 0
+            for value in self._values.values():
+                items = value if isinstance(value, tuple) else (value,)
+                for item in items:
+                    if isinstance(item, np.ndarray):
+                        total += item.nbytes
+            return total
+
+    @property
+    def materialized(self) -> List[str]:
+        """Names of artifacts computed so far (diagnostics)."""
+        with self._lock:
+            return [str(k) for k in self._values]
+
+
+class FactorizationCache:
+    """Content-addressed LRU cache of :class:`KernelFactorization` objects.
+
+    ``capacity`` bounds the number of cached kernels (LRU eviction);
+    ``capacity=0`` disables storage entirely — every lookup returns a fresh
+    factorization, which is the "cache off" mode used to verify that caching
+    never changes samples.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 0:
+            raise ValueError(f"capacity must be nonnegative, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, KernelFactorization]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    def factorization(self, matrix: np.ndarray, *,
+                      fingerprint: Optional[str] = None) -> KernelFactorization:
+        """Get-or-create the factorization for ``matrix`` (LRU touch)."""
+        key = fingerprint if fingerprint is not None else array_fingerprint(
+            np.asarray(matrix, dtype=float))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats.misses += 1
+            entry = KernelFactorization(matrix, fingerprint=key)
+            if self.capacity > 0:
+                self._entries[key] = entry
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            return entry
+
+    def invalidate(self, target: Union[str, np.ndarray]) -> bool:
+        """Drop the entry for a fingerprint or matrix; True if one existed."""
+        key = target if isinstance(target, str) else array_fingerprint(
+            np.asarray(target, dtype=float))
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations)."""
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, target: Union[str, np.ndarray]) -> bool:
+        key = target if isinstance(target, str) else array_fingerprint(
+            np.asarray(target, dtype=float))
+        with self._lock:
+            return key in self._entries
+
+    def fingerprints(self) -> List[str]:
+        """Cached fingerprints, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of materialized artifacts across entries."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return sum(entry.nbytes for entry in entries)

@@ -1,0 +1,143 @@
+"""Kernel registry: named ensembles a serving process accepts traffic for.
+
+Workloads register a kernel **once** — paying validation (PSD / nPSD /
+partition-structure checks) at registration time instead of per request —
+and then open :class:`~repro.service.session.SamplerSession` objects against
+the registered name.  Registered matrices are defensively copied and frozen
+(``writeable=False``) so the content fingerprint that keys the factorization
+cache cannot silently go stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dpp.kernels import validate_ensemble
+from repro.service.cache import FactorizationCache
+from repro.utils.fingerprint import array_fingerprint
+
+__all__ = ["KERNEL_KINDS", "RegisteredKernel", "KernelRegistry"]
+
+#: distribution families the serving layer understands
+KERNEL_KINDS = ("symmetric", "nonsymmetric", "partition")
+
+
+@dataclass
+class RegisteredKernel:
+    """One named kernel: the matrix, its family, and its content fingerprint."""
+
+    name: str
+    kind: str
+    matrix: np.ndarray
+    fingerprint: str
+    parts: Optional[Tuple[Tuple[int, ...], ...]] = None
+    counts: Optional[Tuple[int, ...]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n(self) -> int:
+        return self.matrix.shape[0]
+
+
+class KernelRegistry:
+    """Mutable name → :class:`RegisteredKernel` map sharing one cache.
+
+    Thread-safety note: registration is expected at service start-up, so the
+    registry uses plain dict operations (atomic under CPython); the heavy
+    concurrent machinery lives in the cache and scheduler.
+    """
+
+    def __init__(self, cache: Optional[FactorizationCache] = None):
+        self.cache = cache if cache is not None else FactorizationCache()
+        self._entries: Dict[str, RegisteredKernel] = {}
+
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, matrix: np.ndarray, *, kind: str = "symmetric",
+                 parts: Optional[Sequence[Sequence[int]]] = None,
+                 counts: Optional[Sequence[int]] = None,
+                 validate: bool = True, overwrite: bool = False,
+                 metadata: Optional[Dict[str, object]] = None) -> RegisteredKernel:
+        """Register ``matrix`` under ``name``; validation happens here, once.
+
+        Re-registering the same name with identical content returns the
+        existing entry; different content requires ``overwrite=True`` (which
+        also invalidates the old entry's cached factorization).
+        """
+        if kind not in KERNEL_KINDS:
+            raise ValueError(f"unknown kernel kind {kind!r}; expected one of {KERNEL_KINDS}")
+        if kind == "partition":
+            if parts is None or counts is None:
+                raise ValueError("partition kernels require parts= and counts=")
+        elif parts is not None or counts is not None:
+            raise ValueError(f"parts/counts are only valid for kind='partition', not {kind!r}")
+
+        a = np.array(matrix, dtype=float, copy=True)
+        if validate:
+            validate_ensemble(a, symmetric=(kind != "nonsymmetric"))
+        parts_key = None
+        counts_key = None
+        if kind == "partition":
+            parts_key = tuple(tuple(sorted(int(i) for i in part)) for part in parts)
+            counts_key = tuple(int(c) for c in counts)
+            if validate:
+                # structural checks (disjointness, coverage, feasible counts)
+                # without paying the interpolation-grid normalizer here — the
+                # factorization cache computes that lazily.
+                from repro.dpp.partition import PartitionDPP
+                PartitionDPP(a, parts_key, counts_key, validate=False)
+        a.flags.writeable = False
+        fingerprint = array_fingerprint(a, extra=(kind, parts_key, counts_key))
+
+        existing = self._entries.get(name)
+        if existing is not None:
+            if existing.fingerprint == fingerprint:
+                return existing
+            if not overwrite:
+                raise ValueError(
+                    f"kernel {name!r} is already registered with different content; "
+                    "pass overwrite=True to replace it"
+                )
+            self.cache.invalidate(existing.fingerprint)
+
+        entry = RegisteredKernel(
+            name=name, kind=kind, matrix=a, fingerprint=fingerprint,
+            parts=parts_key, counts=counts_key, metadata=dict(metadata or {}),
+        )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> bool:
+        """Remove ``name`` and invalidate its cached factorization."""
+        entry = self._entries.pop(name, None)
+        if entry is None:
+            return False
+        self.cache.invalidate(entry.fingerprint)
+        return True
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> RegisteredKernel:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"no kernel registered under {name!r}; known: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    def session(self, name: str, **kwargs) -> "SamplerSession":
+        """Open a :class:`~repro.service.session.SamplerSession` on ``name``."""
+        from repro.service.session import SamplerSession
+
+        return SamplerSession(self.get(name), self.cache, **kwargs)

@@ -1,0 +1,340 @@
+"""Cross-request round fusion: one engine round for many concurrent samples.
+
+The paper's samplers spend their wall-clock answering batched counting-oracle
+rounds (:class:`~repro.engine.batch.OracleBatch`).  When a serving process
+has several sample requests in flight against the *same* distribution, their
+per-round query batches are independent — so instead of executing one small
+batch per request, the :class:`RoundScheduler` runs each request on its own
+thread behind a :class:`_FusingBackend` proxy that parks every submitted
+batch at a rendezvous; once all live requests are parked, the compatible
+batches are **fused** (same kind, same distribution object → subsets
+concatenated; identical marginal-vector queries → answered once and shared)
+and executed as a single batch through the real execution backend, then
+split back per request.
+
+Determinism contract: fusion never touches a request's random stream (each
+request owns a generator, by explicit seed or a :func:`repro.utils.rng.substream`
+of the scheduler's root seed) and the stacked oracle primitives answer each
+query independently of its neighbours in the stack, so a fixed-seed request
+returns the identical sample fused or unfused, on every backend.  PRAM depth
+is likewise preserved: each request's tracker is charged one round per batch
+exactly as unfused execution would; the fused round's *work* is accounted on
+the scheduler (see :attr:`RoundScheduler.stats`) since it is genuinely shared.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.result import SampleResult
+from repro.engine import BackendLike, ExecutionBackend, OracleBatch, OracleBatchResult, resolve_backend
+from repro.pram.tracker import Tracker
+from repro.utils.rng import SeedLike, substream
+
+__all__ = ["RoundScheduler", "SampleTicket"]
+
+#: seconds between barrier re-checks (wake-ups also happen on every submit/finish)
+_POLL_INTERVAL = 0.02
+
+
+@dataclass
+class SampleTicket:
+    """Handle for one submitted request; resolved by ``drain()``."""
+
+    index: int
+    k: Optional[int]
+    seed: SeedLike
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    result: Optional[SampleResult] = None
+    error: Optional[BaseException] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+@dataclass
+class _PendingExec:
+    """One request's parked OracleBatch awaiting the fusion rendezvous."""
+
+    batch: OracleBatch
+    tracker: Optional[Tracker]
+    result: Optional[OracleBatchResult] = None
+    error: Optional[BaseException] = None
+
+
+class _FusionCoordinator:
+    """Barrier + merge point shared by the request threads of one drain."""
+
+    def __init__(self, inner: ExecutionBackend, active: int):
+        self._inner = inner
+        self._cond = threading.Condition()
+        self._active = active
+        self._pending: List[_PendingExec] = []
+        self._flushing = False
+        self._scratch = Tracker()
+        self.fused_rounds = 0
+        self.executed_batches = 0
+        self.submitted_batches = 0
+
+    # ------------------------------------------------------------------ #
+    def job_done(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify_all()
+
+    def execute(self, batch: OracleBatch, tracker: Optional[Tracker]) -> OracleBatchResult:
+        """Park ``batch`` until every live request has parked, then fuse.
+
+        Whichever thread observes the full barrier becomes the leader and
+        performs the fused execution with the condition released, so parked
+        threads (and late finishers) keep making progress.
+        """
+        entry = _PendingExec(batch, tracker)
+        with self._cond:
+            self._pending.append(entry)
+            self.submitted_batches += 1
+            self._cond.notify_all()
+            while entry.result is None and entry.error is None:
+                barrier_full = (not self._flushing and self._pending
+                                and len(self._pending) >= self._active)
+                if barrier_full:
+                    taken = list(self._pending)
+                    self._pending.clear()
+                    self._flushing = True
+                    self._cond.release()
+                    try:
+                        self._flush(taken)
+                    finally:
+                        self._cond.acquire()
+                        self._flushing = False
+                        self._cond.notify_all()
+                else:
+                    self._cond.wait(_POLL_INTERVAL)
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    # ------------------------------------------------------------------ #
+    def _flush(self, entries: List[_PendingExec]) -> None:
+        self.fused_rounds += 1
+        for group in self._group(entries).values():
+            try:
+                self._execute_group(group)
+            except BaseException as exc:  # surface on every member request
+                for member in group:
+                    member.error = exc
+
+    @staticmethod
+    def _group(entries: List[_PendingExec]) -> Dict[tuple, List[_PendingExec]]:
+        """Fusable groups: same kind against the same distribution/matrix.
+
+        ``marginal_vector`` additionally keys on ``given`` — equal keys mean
+        the *identical* query, answered once and shared by every member.
+        """
+        groups: Dict[tuple, List[_PendingExec]] = {}
+        for entry in entries:
+            b = entry.batch
+            if b.kind == "marginal_vector":
+                key = (b.kind, id(b.distribution), b.given)
+            elif b.kind == "log_principal_minors":
+                key = (b.kind, id(b.matrix))
+            else:
+                key = (b.kind, id(b.distribution))
+            groups.setdefault(key, []).append(entry)
+        return groups
+
+    def _execute_group(self, group: List[_PendingExec]) -> None:
+        first = group[0].batch
+        start = time.perf_counter()
+        if first.kind == "marginal_vector" or len(group) == 1:
+            # identical query (or nothing to merge): one execution, shared
+            shared = self._inner.execute(first, tracker=self._scratch)
+            self.executed_batches += 1
+            elapsed = time.perf_counter() - start
+            for member in group:
+                self._charge(member)
+                member.result = OracleBatchResult(
+                    values=shared.values.copy(), backend=f"fused({self._inner.name})",
+                    wall_time=elapsed, n_queries=member.batch.n_queries)
+            return
+        # concatenate subsets into one batch; split the stacked answer back
+        offsets = [0]
+        subsets: List[tuple] = []
+        for member in group:
+            subsets.extend(member.batch.subsets)
+            offsets.append(len(subsets))
+        merged = OracleBatch(kind=first.kind, distribution=first.distribution,
+                             matrix=first.matrix, subsets=tuple(subsets),
+                             label=f"fused-{first.label}")
+        fused = self._inner.execute(merged, tracker=self._scratch)
+        self.executed_batches += 1
+        elapsed = time.perf_counter() - start
+        for member, lo, hi in zip(group, offsets[:-1], offsets[1:]):
+            self._charge(member)
+            member.result = OracleBatchResult(
+                values=np.asarray(fused.values[lo:hi]).copy(),
+                backend=f"fused({self._inner.name})",
+                wall_time=elapsed, n_queries=hi - lo)
+
+    @staticmethod
+    def _charge(member: _PendingExec) -> None:
+        """Charge the member's tracker exactly as unfused execution would:
+        one adaptive round, ``n_queries`` machines."""
+        if member.tracker is None:
+            return
+        with member.tracker.round(member.batch.label):
+            member.tracker.charge(machines=float(member.batch.n_queries))
+
+    @property
+    def shared_work(self) -> float:
+        return self._scratch.work
+
+
+class _FusingBackend(ExecutionBackend):
+    """Per-request proxy backend that routes every round to the coordinator."""
+
+    name = "fused"
+
+    def __init__(self, coordinator: _FusionCoordinator):
+        self._coordinator = coordinator
+
+    def execute(self, batch: OracleBatch, *, tracker: Optional[Tracker] = None) -> OracleBatchResult:
+        return self._coordinator.execute(batch, tracker)
+
+    # the abstract hooks are never reached — execute() is fully overridden
+    def _counting(self, batch, tracker):  # pragma: no cover
+        raise NotImplementedError
+
+    def _joint_marginals(self, batch, tracker):  # pragma: no cover
+        raise NotImplementedError
+
+    def _log_principal_minors(self, batch, tracker):  # pragma: no cover
+        raise NotImplementedError
+
+
+class RoundScheduler:
+    """Thread-safe ``submit()`` / ``drain()`` front of one sampler session.
+
+    ``submit`` queues a request (assigning it a deterministic
+    :func:`~repro.utils.rng.substream` of the scheduler's root seed when no
+    explicit seed is given); ``drain`` launches all queued requests
+    concurrently, fuses their engine rounds, and returns results in
+    submission order.
+    """
+
+    def __init__(self, session, *, backend: BackendLike = None, seed: SeedLike = None,
+                 max_concurrency: int = 64):
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be positive, got {max_concurrency}")
+        self.session = session
+        self._backend = backend if backend is not None else session.backend
+        self._root_seed = seed if seed is not None else 0
+        self.max_concurrency = int(max_concurrency)
+        self._lock = threading.Lock()
+        self._queued: List[SampleTicket] = []
+        self._submitted = 0
+        self.drains = 0
+        self.fused_rounds = 0
+        self.executed_batches = 0
+        self.submitted_batches = 0
+        self.shared_work = 0.0
+
+    # ------------------------------------------------------------------ #
+    def submit(self, k: Optional[int] = None, *, seed: SeedLike = None,
+               **kwargs) -> SampleTicket:
+        """Queue one sample request; returns its ticket.
+
+        ``kwargs`` are forwarded to ``session.sample()`` (e.g. ``config=``,
+        ``delta=``); ``method`` and ``backend`` are owned by the scheduler —
+        fused requests always run the parallel sampler on the scheduler's
+        backend — and are rejected here rather than failing at drain time.
+        """
+        reserved = {"method", "backend"} & set(kwargs)
+        if reserved:
+            raise TypeError(
+                f"submit() does not accept {sorted(reserved)}: the scheduler drives "
+                "method='parallel' on its own backend (set backend= on the scheduler)"
+            )
+        with self._lock:
+            index = self._submitted
+            self._submitted += 1
+            if seed is None:
+                seed = substream(self._root_seed, index)
+            ticket = SampleTicket(index=index, k=k, seed=seed, kwargs=dict(kwargs))
+            self._queued.append(ticket)
+            return ticket
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queued)
+
+    # ------------------------------------------------------------------ #
+    def drain(self) -> List[SampleResult]:
+        """Run every queued request to completion with round fusion.
+
+        Results are returned in submission order; the first request error is
+        re-raised after all threads have finished (tickets keep per-request
+        errors either way).  At most ``max_concurrency`` requests run (and
+        fuse) at once — larger queues are drained in deterministic waves, so
+        heavy traffic cannot exhaust OS threads.
+        """
+        with self._lock:
+            tickets = list(self._queued)
+            self._queued.clear()
+        if not tickets:
+            return []
+        inner = resolve_backend(self._backend)
+        for start in range(0, len(tickets), self.max_concurrency):
+            self._drain_wave(tickets[start:start + self.max_concurrency], inner)
+        with self._lock:
+            self.drains += 1
+        for ticket in tickets:
+            if ticket.error is not None:
+                raise ticket.error
+        return [ticket.result for ticket in tickets]
+
+    def _drain_wave(self, tickets: List[SampleTicket], inner: ExecutionBackend) -> None:
+        coordinator = _FusionCoordinator(inner, active=len(tickets))
+        threads = [
+            threading.Thread(
+                target=self._run_one, args=(ticket, coordinator),
+                name=f"repro-serve-{ticket.index}", daemon=True,
+            )
+            for ticket in tickets
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with self._lock:  # concurrent drain() calls merge counters safely
+            self.fused_rounds += coordinator.fused_rounds
+            self.executed_batches += coordinator.executed_batches
+            self.submitted_batches += coordinator.submitted_batches
+            self.shared_work += coordinator.shared_work
+
+    def _run_one(self, ticket: SampleTicket, coordinator: _FusionCoordinator) -> None:
+        try:
+            proxy = _FusingBackend(coordinator)
+            ticket.result = self.session.sample(
+                ticket.k, seed=ticket.seed, method="parallel", backend=proxy,
+                **ticket.kwargs)
+        except BaseException as exc:
+            ticket.error = exc
+        finally:
+            ticket.done.set()
+            coordinator.job_done()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Dict[str, object]:
+        return {
+            "drains": self.drains,
+            "fused_rounds": self.fused_rounds,
+            "submitted_batches": self.submitted_batches,
+            "executed_batches": self.executed_batches,
+            "shared_work": self.shared_work,
+        }

@@ -1,0 +1,254 @@
+"""Sampler sessions: warm, cache-backed handles for repeated draws.
+
+``session = repro.serve(L); session.sample(k=5, seed=...)`` is the serving
+counterpart of the one-shot module-level samplers: the session pulls the
+kernel's :class:`~repro.service.cache.KernelFactorization` from the shared
+cache and threads the cached artifacts into the existing samplers
+(``dpp/spectral.py`` via the ``eigh=`` argument, ``dpp/symmetric.py`` /
+``dpp/nonsymmetric.py`` / ``dpp/partition.py`` via their precomputed-artifact
+hooks), so repeated draws skip every per-kernel preprocessing step while
+producing **bit-identical fixed-seed samples** — the warm path replays the
+cold path's numerics exactly, it just doesn't recompute them.
+
+Two sampling methods are exposed per kernel family:
+
+* ``method="spectral"`` (symmetric kernels; the default there) — the HKPV
+  sampler, the fastest wall-clock route for single draws once the
+  eigendecomposition is amortized away;
+* ``method="parallel"`` — the paper's batched low-depth samplers
+  (Theorems 8/9/10), executed through :mod:`repro.engine` and therefore
+  fusable across concurrent requests by the
+  :class:`~repro.service.scheduler.RoundScheduler`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.batched import BatchedSamplerConfig, batched_sample
+from repro.core.entropic import EntropicSamplerConfig, sample_entropic_parallel
+from repro.core.result import SampleResult, SamplerReport
+from repro.core.symmetric import kdpp_batched_config
+from repro.distributions.base import SubsetDistribution
+from repro.dpp.nonsymmetric import NonsymmetricDPP, NonsymmetricKDPP
+from repro.dpp.partition import PartitionDPP
+from repro.dpp.spectral import sample_dpp_spectral, sample_kdpp_spectral
+from repro.dpp.symmetric import SymmetricDPP, SymmetricKDPP
+from repro.engine import BackendLike
+from repro.pram.tracker import Tracker, use_tracker
+from repro.service.cache import FactorizationCache, KernelFactorization
+from repro.service.registry import RegisteredKernel
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["SamplerSession"]
+
+
+class SamplerSession:
+    """A warm handle for repeated sampling against one registered kernel.
+
+    Sessions are cheap: they hold no heavy state of their own beyond a memo
+    of constructed distribution objects (one per requested cardinality), all
+    backed by the shared factorization cache.
+    """
+
+    def __init__(self, entry: RegisteredKernel, cache: Optional[FactorizationCache] = None, *,
+                 backend: BackendLike = None):
+        self.entry = entry
+        self.cache = cache if cache is not None else FactorizationCache()
+        self.backend = backend
+        self._lock = threading.RLock()
+        self._distributions: Dict[object, SubsetDistribution] = {}
+        self._scheduler = None
+        self.samples_served = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def factorization(self) -> KernelFactorization:
+        """The kernel's cached (or, on a cold cache, freshly computed) artifacts."""
+        return self.cache.factorization(self.entry.matrix, fingerprint=self.entry.fingerprint)
+
+    def distribution(self, k: Optional[int] = None) -> SubsetDistribution:
+        """The (cached) distribution object serving cardinality ``k``.
+
+        Construction skips re-validation — the registry validated the matrix
+        once — and attaches the cached factorization artifacts so the first
+        query of every request is already warm.
+        """
+        if self.entry.kind == "partition" and k is not None and k == sum(self.entry.counts):
+            k = None  # the partition kernel's one (fixed) cardinality
+        key = (self.entry.kind, k)
+        with self._lock:
+            dist = self._distributions.get(key)
+            if dist is None:
+                dist = self._build_distribution(k)
+                self._distributions[key] = dist
+            return dist
+
+    def _build_distribution(self, k: Optional[int]) -> SubsetDistribution:
+        entry, fact = self.entry, self.factorization
+        if entry.kind == "symmetric":
+            if k is None:
+                return SymmetricDPP(entry.matrix, validate=False).attach_precomputed(
+                    kernel=fact.kernel, partition_function=fact.det_identity_plus)
+            return SymmetricKDPP(entry.matrix, int(k), validate=False).attach_precomputed(
+                eigenvalues=fact.eigenvalues, factor=fact.factor,
+                factor_gram=fact.factor_gram)
+        if entry.kind == "nonsymmetric":
+            if k is None:
+                return NonsymmetricDPP(entry.matrix, validate=False).attach_precomputed(
+                    kernel=fact.kernel, partition_function=fact.det_identity_plus)
+            return NonsymmetricKDPP(entry.matrix, int(k), validate=False,
+                                    partition_function=max(fact.minor_sum(int(k)), 0.0))
+        # partition
+        if k is not None and k != sum(entry.counts):
+            raise ValueError(
+                f"partition kernel {entry.name!r} has fixed cardinality {sum(entry.counts)}, "
+                f"cannot sample k={k}"
+            )
+        return PartitionDPP(
+            entry.matrix, entry.parts, entry.counts, validate=False,
+            partition_function=fact.partition_normalizer(entry.parts, entry.counts))
+
+    # ------------------------------------------------------------------ #
+    def sample(self, k: Optional[int] = None, *, seed: SeedLike = None,
+               method: Optional[str] = None, backend: BackendLike = None,
+               delta: float = 1e-2,
+               config: Optional[Union[BatchedSamplerConfig, EntropicSamplerConfig]] = None,
+               tracker: Optional[Tracker] = None) -> SampleResult:
+        """Draw one sample, reusing every cached artifact.
+
+        Fixed-seed draws are identical to the corresponding cold-path entry
+        point (``sample_kdpp_spectral`` / ``sample_symmetric_kdpp_parallel``
+        / ...): the cache changes wall-clock, never the sample.
+        """
+        method = self._resolve_method(method)
+        if method == "spectral":
+            result = self._sample_spectral(k, seed, tracker)
+        else:
+            result = self._sample_parallel(k, seed, tracker, backend, delta, config)
+        with self._lock:
+            self.samples_served += 1
+        return result
+
+    def _resolve_method(self, method: Optional[str]) -> str:
+        kind = self.entry.kind
+        if method is None:
+            return "spectral" if kind == "symmetric" else "parallel"
+        if method not in ("spectral", "parallel"):
+            raise ValueError(f"unknown sampling method {method!r}")
+        if method == "spectral" and kind != "symmetric":
+            raise ValueError(f"method='spectral' requires a symmetric kernel, got kind={kind!r}")
+        return method
+
+    # ------------------------------------------------------------------ #
+    def _sample_spectral(self, k: Optional[int], seed: SeedLike,
+                         tracker: Optional[Tracker]) -> SampleResult:
+        eigh = self.factorization.eigh_pair
+        trk = tracker if tracker is not None else Tracker()
+        with use_tracker(trk):
+            if k is None:
+                subset = sample_dpp_spectral(self.entry.matrix, seed, validate=False, eigh=eigh)
+            else:
+                subset = sample_kdpp_spectral(self.entry.matrix, int(k), seed,
+                                              validate=False, eigh=eigh)
+        return SampleResult(subset=subset, report=SamplerReport.from_tracker(trk))
+
+    def _sample_parallel(self, k: Optional[int], seed: SeedLike,
+                         tracker: Optional[Tracker], backend: BackendLike,
+                         delta: float,
+                         config: Optional[Union[BatchedSamplerConfig, EntropicSamplerConfig]]) -> SampleResult:
+        entry = self.entry
+        backend = backend if backend is not None else self.backend
+        if entry.kind == "partition":
+            return sample_entropic_parallel(self.distribution(k), config, seed,
+                                            tracker=tracker, backend=backend)
+        if k is None:
+            return self._sample_parallel_unconstrained(seed, tracker, backend, delta, config)
+        if entry.kind == "nonsymmetric":
+            return sample_entropic_parallel(self.distribution(int(k)), config, seed,
+                                            tracker=tracker, backend=backend)
+        # symmetric k-DPP: same driver construction as
+        # sample_symmetric_kdpp_parallel, so warm draws replay the cold
+        # path's randomness verbatim.
+        kk = int(k)
+        if config is not None:
+            if not isinstance(config, BatchedSamplerConfig):
+                raise TypeError(
+                    "symmetric parallel sampling takes a BatchedSamplerConfig "
+                    f"(as sample_symmetric_kdpp_parallel does), got {type(config).__name__}"
+                )
+            driver = config
+        else:
+            driver = kdpp_batched_config(kk, delta)
+        return batched_sample(self.distribution(kk), driver, seed,
+                              tracker=tracker, backend=backend)
+
+    def _sample_parallel_unconstrained(self, seed: SeedLike, tracker: Optional[Tracker],
+                                       backend: BackendLike, delta: float,
+                                       config: Optional[Union[BatchedSamplerConfig, EntropicSamplerConfig]]) -> SampleResult:
+        """Remark 15 with a cached size distribution: draw ``|S|``, then k-DPP."""
+        fact = self.factorization
+        sizes = (fact.size_distribution if self.entry.kind == "symmetric"
+                 else fact.nonsym_size_distribution)
+        rng = as_generator(seed)
+        trk = tracker if tracker is not None else Tracker()
+        with use_tracker(trk):
+            with trk.round("cardinality-sampling"):
+                k = int(rng.choice(sizes.size, p=sizes))
+        if k == 0:
+            return SampleResult(subset=(), report=SamplerReport.from_tracker(trk))
+        result = self._sample_parallel(k, rng, trk, backend, delta, config)
+        result.report.extra["sampled_cardinality"] = float(k)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # concurrent traffic: delegate to a lazily created RoundScheduler
+    # ------------------------------------------------------------------ #
+    def scheduler(self, *, backend: BackendLike = None, seed: SeedLike = None):
+        """This session's (lazily created) round-fusing request scheduler.
+
+        ``backend``/``seed`` only apply when the scheduler is first created;
+        asking for different settings later raises instead of silently
+        returning the old scheduler — construct a
+        :class:`~repro.service.scheduler.RoundScheduler` directly for
+        several schedulers over one session.
+        """
+        from repro.service.scheduler import RoundScheduler
+
+        with self._lock:
+            if self._scheduler is None:
+                self._scheduler = RoundScheduler(self, backend=backend, seed=seed)
+            elif backend is not None or seed is not None:
+                raise ValueError(
+                    "this session's scheduler already exists; create a RoundScheduler "
+                    "directly to use a different backend or root seed"
+                )
+            return self._scheduler
+
+    def submit(self, k: Optional[int] = None, *, seed: SeedLike = None, **kwargs):
+        """Queue a sample request for fused execution (see :meth:`drain`)."""
+        return self.scheduler().submit(k, seed=seed, **kwargs)
+
+    def drain(self) -> List[SampleResult]:
+        """Run all queued requests, fusing concurrent rounds; results in
+        submission order."""
+        return self.scheduler().drain()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Serving statistics: cache counters plus per-session totals."""
+        info: Dict[str, object] = {
+            "kernel": self.entry.name,
+            "kind": self.entry.kind,
+            "n": self.entry.n,
+            "samples_served": self.samples_served,
+            "cache": self.cache.stats.as_dict(),
+            "cached_artifacts_bytes": self.cache.nbytes,
+        }
+        if self._scheduler is not None:
+            info["scheduler"] = self._scheduler.stats
+        return info

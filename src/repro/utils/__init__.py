@@ -1,6 +1,7 @@
 """Shared utilities: RNG handling, subset helpers, argument validation."""
 
-from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.fingerprint import array_fingerprint, matrix_fingerprint
+from repro.utils.rng import as_generator, spawn_generators, substream
 from repro.utils.subsets import (
     all_subsets,
     all_subsets_of_size,
@@ -17,8 +18,11 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "array_fingerprint",
+    "matrix_fingerprint",
     "as_generator",
     "spawn_generators",
+    "substream",
     "all_subsets",
     "all_subsets_of_size",
     "subset_to_mask",

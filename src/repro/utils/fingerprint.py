@@ -1,0 +1,43 @@
+"""Content fingerprints for arrays and kernel parameters.
+
+The serving layer (:mod:`repro.service`) memoizes expensive per-kernel
+artifacts — eigendecompositions, PSD factors, ESP tables — keyed by *content*,
+not by object identity: two registrations of numerically equal ensembles share
+one cache entry, and mutating a matrix (which callers should not do, but can)
+produces a different key instead of silently stale results.
+
+Fingerprints are SHA-256 digests over the raw array bytes together with shape
+and dtype, plus any extra scalar parameters (``k``, partition structure, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def array_fingerprint(*arrays: np.ndarray, extra: Iterable = ()) -> str:
+    """Hex digest identifying the content of ``arrays`` (+ scalar ``extra``).
+
+    Arrays are hashed as ``(dtype, shape, C-contiguous bytes)`` so equal
+    content always maps to an equal fingerprint regardless of memory layout.
+    """
+    digest = hashlib.sha256()
+    for array in arrays:
+        a = np.ascontiguousarray(array)
+        digest.update(str(a.dtype).encode())
+        digest.update(repr(a.shape).encode())
+        digest.update(a.tobytes())
+    for item in extra:
+        digest.update(b"|")
+        digest.update(repr(item).encode())
+    return digest.hexdigest()
+
+
+def matrix_fingerprint(matrix: np.ndarray, *, kind: str = "matrix",
+                       params: Optional[Iterable] = None) -> str:
+    """Fingerprint of one kernel matrix tagged with its distribution kind."""
+    return array_fingerprint(np.asarray(matrix, dtype=float),
+                             extra=(kind, *tuple(params or ())))

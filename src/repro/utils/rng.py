@@ -46,3 +46,27 @@ def spawn_generators(seed: SeedLike, count: int) -> list:
         return [np.random.default_rng(int(s)) for s in seeds]
     seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def substream(seed: SeedLike, index: int) -> np.random.Generator:
+    """Deterministic, addressable child stream ``index`` of a root seed.
+
+    Unlike :func:`spawn_generators` (which must materialize all children up
+    front), ``substream(root, i)`` can be evaluated independently per request
+    and always yields ``SeedSequence(root).spawn(i + 1)[i]`` — the serving
+    layer uses this to give each concurrently submitted sample request its own
+    stream so fused execution order never changes any request's draws.
+    """
+    if index < 0:
+        raise ValueError(f"index must be nonnegative, got {index}")
+    if seed is None or isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "substream requires a reproducible root seed (int or SeedSequence); "
+            f"got {type(seed).__name__} which would not be re-derivable"
+        )
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    child = np.random.SeedSequence(
+        entropy=seq.entropy,
+        spawn_key=tuple(seq.spawn_key) + (index,),
+    )
+    return np.random.default_rng(child)

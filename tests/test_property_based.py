@@ -12,8 +12,11 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+import repro
 from repro.core.batched import batch_schedule
 from repro.distributions.divergences import kl_divergence, total_variation
+from repro.dpp.spectral import sample_kdpp_spectral
+from repro.service import FactorizationCache, KernelRegistry, RoundScheduler, serve
 from repro.distributions.generic import ExplicitDistribution
 from repro.dpp.kernels import ensemble_to_kernel, kernel_to_ensemble
 from repro.dpp.likelihood import sum_principal_minors
@@ -227,6 +230,67 @@ class TestDistributionProperties:
 
         dist = uniform_distribution_on_size_k(n, k)
         assert dist.marginal_vector().sum() == pytest.approx(k, rel=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# serving layer: caching and fusion never change samples
+# ---------------------------------------------------------------------- #
+SERVING_SETTINGS = settings(max_examples=8, deadline=None,
+                            suppress_health_check=[HealthCheck.too_slow])
+SERVING_BACKENDS = ("serial", "vectorized", "threads")
+
+
+def conditioned_psd_matrices(max_n=6, ridge=0.05):
+    """PSD ensembles with spectrum bounded away from zero.
+
+    The seed repo's HKPV phase 2 can run out of probability mass on
+    numerically rank-deficient spectra (eigenvalues at the QR drop
+    tolerance); the serving-layer properties are about caching/fusion, so
+    they use instances every sampler handles.
+    """
+    return psd_matrices(max_n=max_n).map(
+        lambda L: L + ridge * np.eye(L.shape[0]))
+
+
+class TestServingProperties:
+    @SERVING_SETTINGS
+    @given(conditioned_psd_matrices(max_n=6), st.integers(min_value=0, max_value=10**6))
+    def test_cached_sampling_is_seed_identical(self, L, seed):
+        """Warm SamplerSession draws == cold module-level draws, every backend."""
+        k = min(2, L.shape[0])
+        session = serve(L, registry=KernelRegistry())
+        assert session.sample(k=k, seed=seed).subset == sample_kdpp_spectral(L, k, seed=seed)
+        for backend in SERVING_BACKENDS:
+            warm = session.sample(k=k, seed=seed, method="parallel", backend=backend).subset
+            cold = repro.sample_symmetric_kdpp_parallel(L, k, seed=seed, backend=backend).subset
+            assert warm == cold
+
+    @SERVING_SETTINGS
+    @given(conditioned_psd_matrices(max_n=6), st.integers(min_value=0, max_value=10**6))
+    def test_fused_scheduling_is_seed_identical(self, L, seed):
+        """Scheduler-fused rounds == per-request draws, every backend."""
+        k = min(2, L.shape[0])
+        seeds = [seed, seed + 1, seed + 2]
+        session = serve(L, registry=KernelRegistry())
+        for backend in SERVING_BACKENDS:
+            scheduler = RoundScheduler(session, backend=backend)
+            for s in seeds:
+                scheduler.submit(k, seed=s)
+            fused = [r.subset for r in scheduler.drain()]
+            unfused = [session.sample(k=k, seed=s, method="parallel", backend=backend).subset
+                       for s in seeds]
+            assert fused == unfused
+
+    @SERVING_SETTINGS
+    @given(psd_matrices(max_n=6))
+    def test_factorization_cache_content_addressing(self, L):
+        """Equal content hits one entry; perturbed content misses."""
+        cache = FactorizationCache(capacity=4)
+        first = cache.factorization(L)
+        assert cache.factorization(L.copy()) is first
+        assert cache.factorization(L + 1e-6 * np.eye(L.shape[0])) is not first
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
 
 
 # ---------------------------------------------------------------------- #
