@@ -23,8 +23,8 @@ Baselines: :func:`repro.core.sequential_sample` (JVV reduction),
 Execution engine: every sampler expresses each adaptive round as an
 :class:`~repro.engine.batch.OracleBatch` executed by a pluggable backend —
 select it globally with :func:`repro.configure_backend` (``"serial"``,
-``"vectorized"``, ``"threads"``), scope it with :func:`repro.use_backend`,
-or pass ``backend=...`` to any sampler call.
+``"vectorized"``, ``"threads"``, ``"process"``), scope it with
+:func:`repro.use_backend`, or pass ``backend=...`` to any sampler call.
 
 Serving layer: :func:`repro.serve` opens a :class:`~repro.service.SamplerSession`
 whose repeated draws reuse cached factorizations
@@ -55,6 +55,7 @@ from repro.service import (
 from repro.engine import (
     OracleBatch,
     OracleBatchResult,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     VectorizedBackend,
@@ -107,6 +108,7 @@ __all__ = [
     "SerialBackend",
     "VectorizedBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
     "configure_backend",
     "current_backend",
     "use_backend",

@@ -79,6 +79,35 @@ class SubsetDistribution(abc.ABC):
         return tuple(range(self.n))
 
     # ------------------------------------------------------------------ #
+    # out-of-process shipping (the engine's process backend)
+    # ------------------------------------------------------------------ #
+    def worker_payload(self) -> Optional[Tuple[dict, dict]]:
+        """``(arrays, params)`` describing this distribution for worker processes.
+
+        ``arrays`` maps names to the heavy ndarrays (shipped once through
+        shared memory and cached per worker by content fingerprint);
+        ``params`` holds small picklable scalars/tuples.  Together they must
+        satisfy ``cls.from_worker_payload(arrays, params)`` answering every
+        counting query with the same values as ``self`` — including any
+        normalizer this object has already materialized, so workers never
+        recompute what the parent (or the serving layer's factorization
+        cache) already paid for.
+
+        The default returns ``None``: the engine then pickles the object
+        whole — correct for plain table/array state, and a loud failure for
+        closures or other unpicklable captures, which the process backend
+        turns into a graceful vectorized fallback.
+        """
+        return None
+
+    @classmethod
+    def from_worker_payload(cls, arrays: dict, params: dict) -> "SubsetDistribution":
+        """Rebuild a distribution described by :meth:`worker_payload`."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not implement the worker-payload contract"
+        )
+
+    # ------------------------------------------------------------------ #
     # derived quantities
     # ------------------------------------------------------------------ #
     @property

@@ -76,6 +76,22 @@ class NonsymmetricDPP(SubsetDistribution):
             self._z = float(partition_function)
         return self
 
+    def worker_payload(self):
+        """Ship ``L`` (plus the marginal kernel / normalizer when warm)."""
+        arrays = {"L": self.L}
+        if self._kernel is not None:
+            arrays["kernel"] = self._kernel
+        return arrays, {"labels": self._labels, "z": self._z}
+
+    @classmethod
+    def from_worker_payload(cls, arrays, params):
+        dist = cls(arrays["L"], validate=False, labels=params["labels"])
+        if "kernel" in arrays:
+            dist._kernel = arrays["kernel"]
+        if params["z"] is not None:
+            dist._z = float(params["z"])
+        return dist
+
     # ------------------------------------------------------------------ #
     def unnormalized(self, subset: Iterable[int]) -> float:
         items = check_subset(subset, self.n)
@@ -163,6 +179,16 @@ class NonsymmetricKDPP(HomogeneousDistribution):
     def ground_labels(self) -> Tuple[int, ...]:
         return self._labels
 
+    def worker_payload(self):
+        """Ship ``L`` and the (constructor-validated) normalizer, so workers
+        never redo the characteristic-polynomial pass."""
+        return {"L": self.L}, {"k": self.k, "labels": self._labels, "z": self._z}
+
+    @classmethod
+    def from_worker_payload(cls, arrays, params):
+        return cls(arrays["L"], params["k"], validate=False,
+                   labels=params["labels"], partition_function=params["z"])
+
     # ------------------------------------------------------------------ #
     def unnormalized(self, subset: Iterable[int]) -> float:
         items = check_subset(subset, self.n)
@@ -171,9 +197,12 @@ class NonsymmetricKDPP(HomogeneousDistribution):
         return max(dpp_unnormalized(self.L, items), 0.0)
 
     def partition_function(self) -> float:
-        if self._z is not None:
-            return self._z
-        return max(sum_principal_minors(self.L, self.k), 0.0)
+        # Memoized: the charpoly minor-sum pass is O(n³) of mostly GIL-bound
+        # work, and the serving/engine hot paths query the normalizer on
+        # every joint-marginal batch.
+        if self._z is None:
+            self._z = max(sum_principal_minors(self.L, self.k), 0.0)
+        return self._z
 
     def counting(self, given: Iterable[int] = ()) -> float:
         items = check_subset(given, self.n)

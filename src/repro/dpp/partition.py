@@ -93,6 +93,21 @@ class PartitionDPP(HomogeneousDistribution):
         """Index of the part containing ``element``."""
         return int(self._part_of[int(element)])
 
+    def worker_payload(self):
+        """Ship ``L``, the partition structure, and the normalizer if warm."""
+        params = {
+            "parts": tuple(tuple(part) for part in self.parts),
+            "counts": self.counts,
+            "labels": self._labels,
+            "z": self._z,
+        }
+        return {"L": self.L}, params
+
+    @classmethod
+    def from_worker_payload(cls, arrays, params):
+        return cls(arrays["L"], params["parts"], params["counts"], validate=False,
+                   labels=params["labels"], partition_function=params["z"])
+
     # ------------------------------------------------------------------ #
     # densities
     # ------------------------------------------------------------------ #
@@ -143,10 +158,13 @@ class PartitionDPP(HomogeneousDistribution):
         return max(value, 0.0)
 
     def partition_function(self) -> float:
-        if self._z is not None:
-            return self._z
-        part_sizes = [len(p) for p in self.parts]
-        return self._constrained_count(self.L, self._part_of, part_sizes, self.counts)
+        # Memoized: the interpolation-grid evaluation is the dominant
+        # preprocessing cost of this oracle, and conditioned kernels created
+        # mid-sample would otherwise re-pay it on every normalizer query.
+        if self._z is None:
+            part_sizes = [len(p) for p in self.parts]
+            self._z = self._constrained_count(self.L, self._part_of, part_sizes, self.counts)
+        return self._z
 
     def counting(self, given: Iterable[int] = ()) -> float:
         items = check_subset(given, self.n)

@@ -93,6 +93,19 @@ def _phase_two(vectors: np.ndarray, seed: SeedLike = None) -> Tuple[int, ...]:
             # re-orthonormalize and drop the collapsed dimension
             q, r = np.linalg.qr(V)
             keep = np.abs(np.diag(r)) > 1e-9
+            if int(keep.sum()) < V.shape[1] - 1:
+                # The projection has rank exactly m-1, but unpivoted QR can
+                # hide a surviving dimension's mass in the upper triangle of
+                # ``r`` when a leading column is nearly zero (e.g. an almost
+                # axis-aligned eigenbasis), dropping a real dimension and
+                # exhausting the probability mass downstream.  A pivoted QR
+                # orders the diagonal by magnitude, so the first m-1 columns
+                # are exactly the surviving subspace.
+                from scipy.linalg import qr as _pivoted_qr
+
+                q, _r, _perm = _pivoted_qr(V, mode="economic", pivoting=True)
+                keep = np.zeros(q.shape[1], dtype=bool)
+                keep[:V.shape[1] - 1] = True
             V = q[:, keep]
             tracker.charge(work=float(n) * m * m, machines=float(n))
     return subset_key(selected)

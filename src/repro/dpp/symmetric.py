@@ -78,6 +78,29 @@ class SymmetricDPP(SubsetDistribution):
             self._z = float(partition_function)
         return self
 
+    def worker_payload(self):
+        """Ship ``L`` (plus any artifacts already materialized) to workers.
+
+        Lazily computed state travels only when present: a warm serving-layer
+        distribution ships its cached kernel/normalizer so workers skip the
+        ``O(n³)`` preprocessing, while a cold one lets each worker derive them
+        from ``L`` with the identical routines (same machine, same LAPACK —
+        same bits).
+        """
+        arrays = {"L": self.L}
+        if self._kernel is not None:
+            arrays["kernel"] = self._kernel
+        return arrays, {"labels": self._labels, "z": self._z}
+
+    @classmethod
+    def from_worker_payload(cls, arrays, params):
+        dist = cls(arrays["L"], validate=False, labels=params["labels"])
+        if "kernel" in arrays:
+            dist._kernel = arrays["kernel"]
+        if params["z"] is not None:
+            dist._z = float(params["z"])
+        return dist
+
     # ------------------------------------------------------------------ #
     # counting oracle and densities
     # ------------------------------------------------------------------ #
@@ -239,6 +262,35 @@ class SymmetricKDPP(HomogeneousDistribution):
                     f"k-DPP with k={self.k} has zero mass: rank of L is {numerical_rank} < k"
                 )
         return self
+
+    def worker_payload(self):
+        """Ship ``L`` plus whichever spectral artifacts are already warm.
+
+        A serving-layer distribution (``attach_precomputed``) ships its
+        eigenvalues / PSD factor / Gram companion through shared memory, so
+        workers skip every eigendecomposition; freshly conditioned kernels
+        ship only ``L`` and let each worker derive the artifacts once (they
+        are cached per kernel fingerprint on the worker side).
+        """
+        arrays = {"L": self.L}
+        if self._eigenvalues is not None:
+            arrays["eigenvalues"] = self._eigenvalues
+        if self._factor is not None:
+            arrays["factor"] = self._factor
+        if self._factor_gram is not None:
+            arrays["factor_gram"] = self._factor_gram
+        return arrays, {"k": self.k, "labels": self._labels}
+
+    @classmethod
+    def from_worker_payload(cls, arrays, params):
+        dist = cls(arrays["L"], params["k"], validate=False, labels=params["labels"])
+        if "eigenvalues" in arrays:
+            dist._eigenvalues = arrays["eigenvalues"]
+        if "factor" in arrays:
+            dist._factor = arrays["factor"]
+            if "factor_gram" in arrays:
+                dist._factor_gram = arrays["factor_gram"]
+        return dist
 
     # ------------------------------------------------------------------ #
     def unnormalized(self, subset: Iterable[int]) -> float:

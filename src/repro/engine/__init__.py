@@ -17,9 +17,12 @@ a first-class object and separates the *what* from the *how*:
 * :class:`~repro.engine.backends.ExecutionBackend` — how the round fans out:
   :class:`~repro.engine.backends.SerialBackend` (reference scalar loop),
   :class:`~repro.engine.backends.VectorizedBackend` (stacked NumPy via the
-  distributions' batch oracles and :mod:`repro.linalg.batch`), and
+  distributions' batch oracles and :mod:`repro.linalg.batch`),
   :class:`~repro.engine.backends.ThreadPoolBackend`
-  (``concurrent.futures`` fan-out).
+  (``concurrent.futures`` fan-out), and
+  :class:`~repro.engine.backends.ProcessPoolBackend` (worker processes over
+  a :mod:`multiprocessing.shared_memory` kernel store —
+  :mod:`repro.engine.shm` — so GIL-bound oracle paths scale across cores).
 * :func:`~repro.engine.config.configure_backend` /
   :func:`~repro.engine.config.use_backend` — process-wide / scoped selection;
   every sampler additionally accepts ``backend=...`` per call.
@@ -30,13 +33,15 @@ records one round per batch regardless of execution strategy, which keeps the
 paper's depth accounting independent of wall-clock engineering.
 """
 
-from repro.engine.batch import BATCH_KINDS, OracleBatch, OracleBatchResult
+from repro.engine.batch import BATCH_KINDS, BatchPayload, OracleBatch, OracleBatchResult
 from repro.engine.backends import (
     ExecutionBackend,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     VectorizedBackend,
 )
+from repro.engine.shm import ArrayRef, SharedArrayStore, shared_memory_available
 from repro.engine.config import (
     BACKEND_REGISTRY,
     BackendLike,
@@ -59,12 +64,17 @@ def execute_batch(batch: OracleBatch, *, tracker: Optional[Tracker] = None,
 
 __all__ = [
     "BATCH_KINDS",
+    "ArrayRef",
+    "BatchPayload",
     "OracleBatch",
     "OracleBatchResult",
     "ExecutionBackend",
     "SerialBackend",
+    "SharedArrayStore",
     "VectorizedBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "shared_memory_available",
     "BACKEND_REGISTRY",
     "BackendLike",
     "configure_backend",

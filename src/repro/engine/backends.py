@@ -12,6 +12,10 @@ identical samples no matter which backend executes them.
 * :class:`ThreadPoolBackend` — ``concurrent.futures`` fan-out of scalar
   queries; NumPy releases the GIL inside LAPACK so large per-query
   determinants overlap on multicore hosts.
+* :class:`ProcessPoolBackend` — worker *processes* fed through
+  :mod:`multiprocessing.shared_memory` (:mod:`repro.engine.shm`), so
+  GIL-bound pure-Python oracle paths (ESP tables, charpoly minor sums,
+  partition grids) get real multicore parallelism.
 
 Every backend charges the PRAM tracker identically: one adaptive round per
 batch, ``n_queries`` machines, with per-query determinant work charged by the
@@ -22,14 +26,19 @@ side by side in :class:`~repro.engine.batch.OracleBatchResult`.
 from __future__ import annotations
 
 import abc
+import atexit
 import math
+import os
+import threading
 import time
+import warnings
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.batch import OracleBatch, OracleBatchResult
+from repro.engine.batch import BatchPayload, OracleBatch, OracleBatchResult
 from repro.linalg.batch import grouped_log_principal_minors
 from repro.pram.tracker import Tracker, current_tracker, use_tracker
 
@@ -151,18 +160,49 @@ class ThreadPoolBackend(ExecutionBackend):
     merged into the round's tracker after the batch completes, keeping the
     accounting equivalent to :class:`SerialBackend` without cross-thread
     mutation.
+
+    The executor is created lazily on first use and **reused across
+    batches** (constructing a pool per :class:`OracleBatch` used to dominate
+    the cost of small rounds); :meth:`close` shuts it down explicitly, and an
+    :mod:`atexit` hook covers process teardown.  The executor itself is
+    thread-safe, so concurrent sampler sessions can share one backend.
     """
 
     name = "threads"
 
     def __init__(self, max_workers: Optional[int] = None):
         self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._atexit_registered = False
+
+    @property
+    def workers(self) -> int:
+        """Resolved pool size (mirrors the ``concurrent.futures`` default)."""
+        return self.max_workers or min(32, (os.cpu_count() or 1) + 4)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-oracle")
+                if not self._atexit_registered:  # once per instance
+                    self._atexit_registered = True
+                    atexit.register(self.close)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the (lazily created) executor down; later batches recreate it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def _map_chunks(self, worker, items: Sequence, tracker: Tracker) -> List:
         if not items:
             return []
-        pool_size = self.max_workers or min(32, len(items))
-        chunk = max(1, int(math.ceil(len(items) / pool_size)))
+        fan_out = min(self.workers, len(items))
+        chunk = max(1, int(math.ceil(len(items) / fan_out)))
         chunks = [items[i:i + chunk] for i in range(0, len(items), chunk)]
 
         def run_chunk(part):
@@ -170,8 +210,14 @@ class ThreadPoolBackend(ExecutionBackend):
             with use_tracker(child):
                 return [worker(item) for item in part], child
 
-        with ThreadPoolExecutor(max_workers=pool_size) as pool:
-            outputs = list(pool.map(run_chunk, chunks))
+        try:
+            outputs = list(self._ensure_pool().map(run_chunk, chunks))
+        except RuntimeError:
+            # named backends share one instance, so another caller's close()
+            # can shut the executor down between _ensure_pool() and map();
+            # retry once on a fresh pool (charges merge only from outputs, so
+            # the rerun cannot double-charge)
+            outputs = list(self._ensure_pool().map(run_chunk, chunks))
         results: List = []
         for part_values, child in outputs:
             results.extend(part_values)
@@ -204,3 +250,269 @@ class ThreadPoolBackend(ExecutionBackend):
             return logdet if sign > 0 else -np.inf
 
         return np.array(self._map_chunks(one, batch.subsets, tracker), dtype=float)
+
+
+# ---------------------------------------------------------------------- #
+# process backend: worker-side entry point and per-process caches
+# ---------------------------------------------------------------------- #
+#: worker-side ``spec key -> distribution`` memo (FIFO-trimmed)
+_WORKER_DISTRIBUTION_CAPACITY = 8
+_worker_distributions: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _process_worker_run(payload: BatchPayload,
+                        subsets: Sequence) -> Tuple[np.ndarray, float, int]:
+    """Answer one chunk of a shipped batch inside a worker process.
+
+    Runs under a private tracker and returns ``(values, work, oracle_calls)``
+    so the parent can merge PRAM accounting exactly like the thread backend
+    merges its child trackers.  Kernels arrive as shared-memory refs and are
+    rebuilt once per process (see :mod:`repro.engine.shm`).
+    """
+    from repro.engine.shm import attach_shared_array
+
+    chunk = tuple(tuple(s) for s in subsets)
+    child = Tracker()
+    with use_tracker(child):
+        if payload.kind == "log_principal_minors":
+            matrix = attach_shared_array(payload.matrix)
+            values = grouped_log_principal_minors(matrix, chunk)
+        else:
+            distribution = payload.build_distribution(attach_shared_array,
+                                                      _worker_distributions)
+            while len(_worker_distributions) > _WORKER_DISTRIBUTION_CAPACITY:
+                _worker_distributions.popitem(last=False)
+            values = np.asarray(distribution.counting_batch(list(chunk)), dtype=float)
+    return np.asarray(values, dtype=float), child.work, child.oracle_calls
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Worker-process fan-out over a shared-memory kernel store.
+
+    The thread backend only overlaps inside LAPACK; pure-Python oracle paths
+    (ESP tables, charpoly minor sums, partition interpolation grids)
+    serialize on the GIL.  This backend executes each batch across worker
+    processes instead: the kernel/ensemble payload is placed once in
+    :mod:`multiprocessing.shared_memory` (content-fingerprinted, cached on
+    both sides — see :mod:`repro.engine.shm`), so repeated rounds against the
+    same kernel ship only query indices.
+
+    * ``max_workers`` / ``chunk_size`` — fan-out knobs (defaults: CPU count,
+      one chunk per worker).
+    * ``start_method`` — ``"spawn"`` by default: fork duplicates the parent's
+      locks/threads (the serving layer runs schedulers on threads) and is
+      unsafe with most BLAS implementations.
+    * Workers answer chunks through the distributions' ``counting_batch``
+      oracles under private trackers; the parent merges work/oracle-call
+      totals, so PRAM accounting matches the other backends (one round per
+      batch, ``n_queries`` machines).
+    * Fallback: when shared memory is unavailable, the pool cannot start, or
+      a distribution cannot be shipped (e.g. closures over unpicklable
+      state), execution degrades gracefully to the vectorized backend with a
+      one-time warning — never a mid-round crash.
+
+    Fixed-seed samples are identical to every other backend: all randomness
+    stays in the parent, and workers run the same batched numerics the
+    vectorized backend runs in-process.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None, *,
+                 chunk_size: Optional[int] = None, start_method: str = "spawn",
+                 shm_capacity: int = 64):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.shm_capacity = int(shm_capacity)
+        self._lock = threading.Lock()
+        self._pool = None
+        self._store = None
+        self._vectorized = VectorizedBackend()
+        self._degraded: Optional[str] = None  # reason, once permanently degraded
+        self._broken_pools = 0  # consecutive pool deaths; bounded rebuild retries
+        self._warned_specs: set = set()
+        self._atexit_registered = False
+
+    @property
+    def workers(self) -> int:
+        """Resolved worker-process count."""
+        return self.max_workers or (os.cpu_count() or 1)
+
+    # ------------------------------------------------------------------ #
+    # pool / store lifecycle
+    # ------------------------------------------------------------------ #
+    #: consecutive pool deaths tolerated before degrading permanently
+    MAX_POOL_REBUILDS = 3
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._degraded is not None:
+                # a concurrent _degrade() won the race: do not resurrect a
+                # pool this backend will never use again
+                raise RuntimeError(f"process backend degraded: {self._degraded}")
+            if self._pool is None:
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                context = multiprocessing.get_context(self.start_method)
+                self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                                 mp_context=context)
+                self._register_atexit_locked()
+            return self._pool
+
+    def _ensure_store(self):
+        from repro.engine.shm import SharedArrayStore
+
+        with self._lock:
+            if self._store is None:
+                self._store = SharedArrayStore(capacity=self.shm_capacity)
+                self._register_atexit_locked()
+            return self._store
+
+    def _register_atexit_locked(self) -> None:
+        # once per instance — close()/recreate cycles must not accumulate
+        # duplicate callbacks (close is idempotent either way)
+        if not self._atexit_registered:
+            self._atexit_registered = True
+            atexit.register(self.close)
+
+    def close(self) -> None:
+        """Shut down worker processes and unlink published segments."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            store, self._store = self._store, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if store is not None:
+            store.close()
+
+    def _degrade(self, reason: str) -> None:
+        if self._degraded is None:
+            self._degraded = reason
+            warnings.warn(
+                f"process backend degraded to vectorized execution: {reason}",
+                RuntimeWarning, stacklevel=3)
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # shipping
+    # ------------------------------------------------------------------ #
+    def _payload(self, batch: OracleBatch) -> Optional[BatchPayload]:
+        """Shippable payload for ``batch``, or ``None`` to fall back."""
+        from repro.engine.shm import shared_memory_available
+
+        if self._degraded is not None:
+            return None
+        if not shared_memory_available():
+            self._degrade("multiprocessing.shared_memory is unavailable on this host")
+            return None
+        try:
+            return batch.to_payload(publish=self._ensure_store().publish)
+        except Exception as exc:
+            kind = type(batch.distribution).__name__ if batch.distribution is not None else "matrix"
+            if kind not in self._warned_specs:
+                self._warned_specs.add(kind)
+                warnings.warn(
+                    f"cannot ship {kind} to worker processes ({exc}); "
+                    "answering this batch on the vectorized backend",
+                    RuntimeWarning, stacklevel=3)
+            return None
+
+    def _fan_out(self, payload: BatchPayload, subsets: Sequence,
+                 tracker: Tracker) -> Optional[np.ndarray]:
+        """Chunked worker execution; ``None`` on failure (caller falls back).
+
+        Worker charges are committed to ``tracker`` only after every chunk
+        succeeds — a mid-batch failure must not leave partial charges behind,
+        or the vectorized fallback would double-charge the round's work.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+        from dataclasses import replace
+
+        shipped = replace(payload, subsets=())
+        step = self.chunk_size or max(1, int(math.ceil(len(subsets) / self.workers)))
+        chunks = [subsets[i:i + step] for i in range(0, len(subsets), step)]
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_process_worker_run, shipped, chunk)
+                       for chunk in chunks]
+            parts: List[np.ndarray] = []
+            total_work = 0.0
+            total_calls = 0
+            for future in futures:
+                values, work, oracle_calls = future.result()
+                parts.append(values)
+                total_work += work
+                total_calls += oracle_calls
+        except BrokenProcessPool as exc:
+            # the pool is dead, but a fresh one may be fine (e.g. one worker
+            # OOM-killed): rebuild on the next batch, degrading permanently
+            # only after MAX_POOL_REBUILDS consecutive deaths
+            with self._lock:
+                pool, self._pool = self._pool, None
+                self._broken_pools += 1
+                exhausted = self._broken_pools >= self.MAX_POOL_REBUILDS
+            if pool is not None:
+                pool.shutdown(wait=False)
+            if exhausted:
+                self._degrade(f"worker pool failed {self._broken_pools} times ({exc})")
+            elif "pool-rebuild" not in self._warned_specs:
+                self._warned_specs.add("pool-rebuild")
+                warnings.warn(
+                    f"process backend worker pool died ({exc}); answering this "
+                    "batch on the vectorized backend and rebuilding the pool",
+                    RuntimeWarning, stacklevel=4)
+            return None
+        except (OSError, RuntimeError) as exc:
+            # transient: e.g. a worker raced shm-store eviction of a segment
+            # it had not yet attached (FileNotFoundError), or a concurrent
+            # _degrade() shut the pool down under us.  The next round
+            # re-publishes and retries; only this batch falls back.
+            if self._degraded is None and "shm-transient" not in self._warned_specs:
+                self._warned_specs.add("shm-transient")
+                warnings.warn(
+                    f"process backend could not answer this batch ({exc}); "
+                    "falling back to vectorized for it",
+                    RuntimeWarning, stacklevel=4)
+            return None
+        with self._lock:
+            self._broken_pools = 0  # a full batch succeeded: reset the budget
+        tracker.charge(work=total_work, oracle_calls=total_calls)
+        return np.concatenate(parts) if parts else np.empty(0, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # batch kinds (one shared skeleton: ship, fan out, or fall back whole)
+    # ------------------------------------------------------------------ #
+    def _answer(self, batch: OracleBatch, tracker: Tracker, fallback,
+                finish=None) -> np.ndarray:
+        """Ship ``batch`` to workers, else answer it whole on ``fallback``.
+
+        ``finish`` post-processes successful fan-out values only — the
+        fallback methods produce finished values themselves.
+        """
+        if not batch.subsets:
+            return np.empty(0, dtype=float)
+        payload = self._payload(batch)
+        if payload is not None:
+            values = self._fan_out(payload, batch.subsets, tracker)
+            if values is not None:
+                return finish(values) if finish is not None else values
+        return fallback(batch, tracker)
+
+    def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        return self._answer(batch, tracker, self._vectorized._counting)
+
+    def _joint_marginals(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        # workers return raw counting values; the parent normalizes exactly
+        # like the serial/thread backends (one normalizer query per batch)
+        return self._answer(
+            batch, tracker, self._vectorized._joint_marginals,
+            finish=lambda values: np.clip(values / batch.normalizer(), 0.0, None))
+
+    def _log_principal_minors(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+        return self._answer(batch, tracker, self._vectorized._log_principal_minors)

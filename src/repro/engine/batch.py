@@ -28,11 +28,14 @@ Batch kinds
 
 from __future__ import annotations
 
+import importlib
+import pickle
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.utils.fingerprint import array_fingerprint
 from repro.utils.subsets import Subset, subset_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -116,6 +119,122 @@ class OracleBatch:
                 raise ValueError("distribution has zero total mass")
             self._normalizer = z
         return self._normalizer
+
+    # ------------------------------------------------------------------ #
+    # serialization round-trip contract (process backend / shm transport)
+    # ------------------------------------------------------------------ #
+    def to_payload(self, publish: Optional[Callable[[np.ndarray], object]] = None,
+                   *, normalizer: Optional[float] = None) -> "BatchPayload":
+        """Picklable description of this batch for out-of-process execution.
+
+        ``publish`` maps each heavy array to a transport token (the process
+        backend passes :meth:`repro.engine.shm.SharedArrayStore.publish`; the
+        default keeps arrays inline so plain :mod:`pickle` round-trips work).
+        Distributions ship as a :meth:`~repro.distributions.base.SubsetDistribution.worker_payload`
+        spec when they provide one — arrays replaced by tokens, keyed by a
+        content fingerprint so workers rebuild each kernel once — and fall
+        back to being pickled whole otherwise (raising whatever the pickle
+        layer raises for genuinely unshippable state, e.g. closures).
+
+        Contract: ``payload.to_batch(attach)`` answers every query with the
+        same values as the original batch, on every backend.
+        """
+        publish = publish if publish is not None else (lambda a: a)
+        matrix_token = publish(self.matrix) if self.matrix is not None else None
+        spec: Optional[Dict[str, object]] = None
+        blob: Optional[bytes] = None
+        if self.distribution is not None:
+            described = self.distribution.worker_payload()
+            if described is not None:
+                arrays, params = described
+                cls = type(self.distribution)
+                factory = f"{cls.__module__}:{cls.__qualname__}"
+                names = sorted(arrays)
+                tokens = {name: publish(np.ascontiguousarray(arrays[name]))
+                          for name in names}
+                # the spec key reuses the transport's content fingerprints
+                # (ArrayRef tokens) instead of re-hashing every array — the
+                # publish step already paid for those digests
+                content = [
+                    token.fingerprint if hasattr(token, "fingerprint")
+                    else array_fingerprint(np.ascontiguousarray(arrays[name]))
+                    for name, token in tokens.items()
+                ]
+                key = array_fingerprint(extra=(
+                    factory, names, content,
+                    sorted(params.items(), key=lambda kv: kv[0]),
+                ))
+                spec = {
+                    "factory": factory,
+                    "arrays": tokens,
+                    "params": dict(params),
+                    "key": key,
+                }
+            else:
+                blob = pickle.dumps(self.distribution)
+        return BatchPayload(
+            kind=self.kind, subsets=self.subsets, given=self.given, label=self.label,
+            normalizer=normalizer if normalizer is not None else self._normalizer,
+            matrix=matrix_token, spec=spec, pickled_distribution=blob,
+        )
+
+
+@dataclass
+class BatchPayload:
+    """Picklable twin of :class:`OracleBatch` (see :meth:`OracleBatch.to_payload`).
+
+    Heavy arrays are transport tokens (inline arrays, or
+    :class:`~repro.engine.shm.ArrayRef` handles into shared memory); the
+    distribution is either a rebuildable spec (``factory`` + array tokens +
+    scalar params + content key) or a pickle blob.
+    """
+
+    kind: str
+    subsets: Tuple[Subset, ...] = ()
+    given: Subset = ()
+    label: str = "oracle-batch"
+    normalizer: Optional[float] = None
+    matrix: Optional[object] = None
+    spec: Optional[Dict[str, object]] = None
+    pickled_distribution: Optional[bytes] = None
+
+    def build_distribution(self, attach: Optional[Callable[[object], np.ndarray]] = None,
+                           cache: Optional[Dict[str, object]] = None):
+        """Reconstruct the distribution (``None`` for matrix-only batches).
+
+        ``attach`` resolves array tokens (defaults to pass-through);
+        ``cache`` is an optional ``spec key -> distribution`` memo so workers
+        rebuild each kernel once per process rather than once per chunk.
+        """
+        if self.spec is not None:
+            key = self.spec["key"]
+            if cache is not None and key in cache:
+                return cache[key]
+            attach = attach if attach is not None else (lambda token: np.asarray(token))
+            module_name, _, qualname = self.spec["factory"].partition(":")
+            cls = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                cls = getattr(cls, part)
+            arrays = {name: attach(token)
+                      for name, token in self.spec["arrays"].items()}
+            distribution = cls.from_worker_payload(arrays, dict(self.spec["params"]))
+            if cache is not None:
+                cache[key] = distribution
+            return distribution
+        if self.pickled_distribution is not None:
+            return pickle.loads(self.pickled_distribution)
+        return None
+
+    def to_batch(self, attach: Optional[Callable[[object], np.ndarray]] = None,
+                 cache: Optional[Dict[str, object]] = None) -> OracleBatch:
+        """Rebuild an executable :class:`OracleBatch` (the round-trip inverse)."""
+        attach_arrays = attach if attach is not None else (lambda token: np.asarray(token))
+        matrix = attach_arrays(self.matrix) if self.matrix is not None else None
+        return OracleBatch(
+            kind=self.kind, distribution=self.build_distribution(attach, cache),
+            subsets=self.subsets, given=self.given, matrix=matrix, label=self.label,
+            _normalizer=self.normalizer,
+        )
 
 
 @dataclass

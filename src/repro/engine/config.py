@@ -10,11 +10,13 @@ backends); every sampler also accepts ``backend=...`` per call, resolved by
 from __future__ import annotations
 
 import contextlib
+import threading
 from contextvars import ContextVar
 from typing import Iterator, Optional, Union
 
 from repro.engine.backends import (
     ExecutionBackend,
+    ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     VectorizedBackend,
@@ -28,12 +30,21 @@ BACKEND_REGISTRY = {
     "vectorized": VectorizedBackend,
     "threads": ThreadPoolBackend,
     "threadpool": ThreadPoolBackend,
+    "process": ProcessPoolBackend,
+    "processpool": ProcessPoolBackend,
 }
 
 _default_backend: ExecutionBackend = VectorizedBackend()
 _context_backend: ContextVar[Optional[ExecutionBackend]] = ContextVar(
     "repro_current_backend", default=None
 )
+
+#: memo of name-constructed backends.  The pooled backends hold persistent
+#: executors (threads) or worker processes + shared-memory segments
+#: (process), so resolving ``backend="threads"`` per sampler call must reuse
+#: one instance instead of building a fresh pool every round.
+_constructed: dict = {}
+_constructed_lock = threading.Lock()
 
 
 def _construct(spec: BackendLike, **options) -> ExecutionBackend:
@@ -48,7 +59,16 @@ def _construct(spec: BackendLike, **options) -> ExecutionBackend:
             raise ValueError(
                 f"unknown backend {spec!r}; available: {sorted(set(BACKEND_REGISTRY))}"
             ) from None
-        return factory(**options)
+        try:
+            key = (factory, tuple(sorted(options.items())))
+        except TypeError:  # unhashable option value: construct fresh
+            return factory(**options)
+        with _constructed_lock:
+            backend = _constructed.get(key)
+            if backend is None:
+                backend = factory(**options)
+                _constructed[key] = backend
+            return backend
     raise TypeError(f"backend must be a name or ExecutionBackend, got {type(spec).__name__}")
 
 

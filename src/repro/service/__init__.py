@@ -75,10 +75,15 @@ def serve(kernel: Union[str, np.ndarray], *, name: Optional[str] = None,
     ensemble matrix, which is (idempotently) registered first — under
     ``name`` when given, else under a name derived from its content
     fingerprint and kind, so serving the same matrix twice reuses one
-    registration and one cached factorization.  Long-running services with
-    churning kernels should pass their own ``registry`` and ``unregister``
-    retired kernels — the process-wide default registry holds registrations
-    for the process lifetime (only the factorization cache evicts).
+    registration and one cached factorization.
+
+    Lifecycle: auto-named registrations are **ephemeral** — the session pins
+    the entry while open, and once every session on it is closed the
+    registry's ``anonymous_ttl`` reclaims the registration (so a long-running
+    process churning through ``serve(matrix)`` kernels no longer accumulates
+    them forever).  Close sessions explicitly (``session.close()`` or
+    ``with repro.serve(L) as session: ...``); named/explicit registrations
+    stay until ``unregister``.
 
     Examples
     --------
@@ -86,22 +91,33 @@ def serve(kernel: Union[str, np.ndarray], *, name: Optional[str] = None,
     >>> session.sample(k=5, seed=123).subset         # doctest: +SKIP
     """
     reg = registry if registry is not None else _DEFAULT_REGISTRY
+    ephemeral = False
     if isinstance(kernel, str):
-        entry = reg.get(kernel)
-        # registration-time arguments are meaningless for an existing entry:
-        # reject mismatches instead of silently sampling a different family
-        if name is not None or parts is not None or counts is not None:
-            raise ValueError(
-                "name=/parts=/counts= apply when registering a matrix; "
-                f"{kernel!r} is already registered"
-            )
-        if kind is not None and kind != entry.kind:
-            raise ValueError(
-                f"kernel {kernel!r} is registered as kind={entry.kind!r}, not {kind!r}"
-            )
+        # acquire first: pins an ephemeral entry atomically with the lookup,
+        # so a concurrent TTL sweep cannot reap it mid-serve
+        entry = reg.acquire(kernel)
+        ephemeral = reg.is_ephemeral(kernel)
+        try:
+            # registration-time arguments are meaningless for an existing
+            # entry: reject mismatches instead of silently sampling a
+            # different family
+            if name is not None or parts is not None or counts is not None:
+                raise ValueError(
+                    "name=/parts=/counts= apply when registering a matrix; "
+                    f"{kernel!r} is already registered"
+                )
+            if kind is not None and kind != entry.kind:
+                raise ValueError(
+                    f"kernel {kernel!r} is registered as kind={entry.kind!r}, not {kind!r}"
+                )
+        except ValueError:
+            if ephemeral:
+                reg.release(kernel)
+            raise
     else:
         kind = kind if kind is not None else "symmetric"
         matrix = np.asarray(kernel, dtype=float)
+        ephemeral = name is None
         if name is None:
             from repro.utils.fingerprint import matrix_fingerprint
 
@@ -112,7 +128,9 @@ def serve(kernel: Union[str, np.ndarray], *, name: Optional[str] = None,
                       if parts is not None else None,
                       tuple(int(c) for c in counts) if counts is not None else None)
             name = f"kernel-{matrix_fingerprint(matrix, kind=kind, params=params)[:12]}"
+        # pin=True takes the session reference atomically with registration
+        # (a separate acquire could lose to an anonymous_ttl=0 sweep)
         entry = reg.register(name, matrix, kind=kind, parts=parts, counts=counts,
-                             validate=validate)
+                             validate=validate, ephemeral=ephemeral, pin=ephemeral)
     return SamplerSession(entry, cache if cache is not None else reg.cache,
-                          backend=backend)
+                          backend=backend, registry=reg if ephemeral else None)

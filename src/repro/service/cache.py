@@ -65,7 +65,14 @@ class KernelFactorization:
 
     Artifacts materialize on first access and are retained for the lifetime
     of the object (the enclosing cache controls the object's lifetime).  All
-    getters are thread-safe.
+    getters are thread-safe, and each artifact's computation is
+    **single-flight**: when several sessions miss the same key concurrently,
+    one thread computes while the rest wait for its result — and threads
+    asking for *different* artifacts of the same kernel proceed in parallel
+    instead of serializing behind one coarse lock (which is what the old
+    hold-the-lock-while-computing implementation did, and what made two
+    sessions warming one kernel pay the eigendecomposition twice... or wait
+    on each other's unrelated ESP tables).
     """
 
     def __init__(self, matrix: np.ndarray, fingerprint: Optional[str] = None):
@@ -79,14 +86,37 @@ class KernelFactorization:
         self.matrix = a
         self.fingerprint = fingerprint if fingerprint is not None else array_fingerprint(self.matrix)
         self.n = self.matrix.shape[0]
-        self._lock = threading.RLock()
+        self._lock = threading.Lock()
         self._values: Dict[object, object] = {}
+        self._inflight: Dict[object, threading.Event] = {}
 
     def _get(self, key: object, compute: Callable[[], object]):
-        with self._lock:
-            if key not in self._values:
-                self._values[key] = compute()
-            return self._values[key]
+        while True:
+            with self._lock:
+                if key in self._values:
+                    return self._values[key]
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    waiter = threading.Event()
+                    self._inflight[key] = waiter
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                try:
+                    value = compute()
+                except BaseException:
+                    with self._lock:
+                        del self._inflight[key]
+                    waiter.set()  # wake followers; one of them retries compute()
+                    raise
+                with self._lock:
+                    self._values[key] = value
+                    del self._inflight[key]
+                waiter.set()
+                return value
+            waiter.wait()
+            # leader finished (or failed); loop re-checks the memo
 
     # ------------------------------------------------------------------ #
     # symmetric-kernel artifacts

@@ -6,12 +6,22 @@ and then open :class:`~repro.service.session.SamplerSession` objects against
 the registered name.  Registered matrices are defensively copied and frozen
 (``writeable=False``) so the content fingerprint that keys the factorization
 cache cannot silently go stale.
+
+Lifecycle: explicit registrations live until :meth:`KernelRegistry.unregister`.
+*Ephemeral* registrations — the auto-named entries ``repro.serve(matrix)``
+creates — are reference-counted by the sessions that opened them and expire
+``anonymous_ttl`` seconds after the last session closes (sweeps run inside
+ordinary registry operations; no background thread).  This is what keeps a
+long-running serving process that churns through kernels from accumulating
+registrations (and pinning their matrices) forever.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +33,10 @@ __all__ = ["KERNEL_KINDS", "RegisteredKernel", "KernelRegistry"]
 
 #: distribution families the serving layer understands
 KERNEL_KINDS = ("symmetric", "nonsymmetric", "partition")
+
+#: default idle lifetime (seconds) of an ephemeral registration with no
+#: open sessions; ``KernelRegistry(anonymous_ttl=...)`` overrides
+DEFAULT_ANONYMOUS_TTL = 900.0
 
 
 @dataclass
@@ -42,29 +56,57 @@ class RegisteredKernel:
         return self.matrix.shape[0]
 
 
+@dataclass
+class _EphemeralState:
+    """Refcount + idle timestamp of one auto-named registration."""
+
+    sessions: int = 0
+    idle_since: float = 0.0
+
+
 class KernelRegistry:
     """Mutable name → :class:`RegisteredKernel` map sharing one cache.
 
-    Thread-safety note: registration is expected at service start-up, so the
-    registry uses plain dict operations (atomic under CPython); the heavy
-    concurrent machinery lives in the cache and scheduler.
+    All operations are guarded by one registry lock (registration used to be
+    start-up-only, but ephemeral ``serve(matrix)`` entries are now created
+    and expired from concurrent request paths).  ``anonymous_ttl`` is the
+    idle lifetime of ephemeral registrations: ``0`` unregisters as soon as
+    the last session closes, ``None`` never expires them (the pre-TTL
+    behavior); ``clock`` is injectable for tests and must be monotonic.
     """
 
-    def __init__(self, cache: Optional[FactorizationCache] = None):
+    def __init__(self, cache: Optional[FactorizationCache] = None, *,
+                 anonymous_ttl: Optional[float] = DEFAULT_ANONYMOUS_TTL,
+                 clock: Callable[[], float] = time.monotonic):
+        if anonymous_ttl is not None and anonymous_ttl < 0:
+            raise ValueError(f"anonymous_ttl must be nonnegative, got {anonymous_ttl}")
         self.cache = cache if cache is not None else FactorizationCache()
+        self.anonymous_ttl = anonymous_ttl
+        self._clock = clock
+        self._lock = threading.RLock()
         self._entries: Dict[str, RegisteredKernel] = {}
+        self._ephemeral: Dict[str, _EphemeralState] = {}
 
     # ------------------------------------------------------------------ #
     def register(self, name: str, matrix: np.ndarray, *, kind: str = "symmetric",
                  parts: Optional[Sequence[Sequence[int]]] = None,
                  counts: Optional[Sequence[int]] = None,
                  validate: bool = True, overwrite: bool = False,
+                 ephemeral: bool = False, pin: bool = False,
                  metadata: Optional[Dict[str, object]] = None) -> RegisteredKernel:
         """Register ``matrix`` under ``name``; validation happens here, once.
 
         Re-registering the same name with identical content returns the
         existing entry; different content requires ``overwrite=True`` (which
         also invalidates the old entry's cached factorization).
+        ``ephemeral=True`` marks the entry for TTL-based auto-unregistration
+        once no session holds it (``repro.serve(matrix)`` uses this for its
+        auto-named registrations); re-registering an ephemeral name
+        non-ephemerally promotes it to a permanent entry.  ``pin=True``
+        additionally takes one session reference *atomically with the
+        registration* — without it, an ``anonymous_ttl=0`` sweep racing
+        between register and a separate :meth:`acquire` could reap the
+        brand-new entry.
         """
         if kind not in KERNEL_KINDS:
             raise ValueError(f"unknown kernel kind {kind!r}; expected one of {KERNEL_KINDS}")
@@ -91,53 +133,144 @@ class KernelRegistry:
         a.flags.writeable = False
         fingerprint = array_fingerprint(a, extra=(kind, parts_key, counts_key))
 
-        existing = self._entries.get(name)
-        if existing is not None:
-            if existing.fingerprint == fingerprint:
-                return existing
-            if not overwrite:
-                raise ValueError(
-                    f"kernel {name!r} is already registered with different content; "
-                    "pass overwrite=True to replace it"
-                )
-            self.cache.invalidate(existing.fingerprint)
+        with self._lock:
+            self._sweep_locked()
+            existing = self._entries.get(name)
+            if existing is not None:
+                if existing.fingerprint == fingerprint:
+                    if ephemeral:
+                        state = self._ephemeral.get(name)
+                        if state is not None and pin:
+                            state.sessions += 1
+                    else:
+                        self._ephemeral.pop(name, None)  # promote to permanent
+                    return existing
+                if not overwrite:
+                    raise ValueError(
+                        f"kernel {name!r} is already registered with different content; "
+                        "pass overwrite=True to replace it"
+                    )
+                self._invalidate_unshared_locked(existing.fingerprint, excluding=name)
 
-        entry = RegisteredKernel(
-            name=name, kind=kind, matrix=a, fingerprint=fingerprint,
-            parts=parts_key, counts=counts_key, metadata=dict(metadata or {}),
-        )
-        self._entries[name] = entry
-        return entry
+            entry = RegisteredKernel(
+                name=name, kind=kind, matrix=a, fingerprint=fingerprint,
+                parts=parts_key, counts=counts_key, metadata=dict(metadata or {}),
+            )
+            self._entries[name] = entry
+            if ephemeral:
+                self._ephemeral[name] = _EphemeralState(sessions=1 if pin else 0,
+                                                        idle_since=self._clock())
+            else:
+                self._ephemeral.pop(name, None)
+            return entry
 
     def unregister(self, name: str) -> bool:
-        """Remove ``name`` and invalidate its cached factorization."""
-        entry = self._entries.pop(name, None)
-        if entry is None:
-            return False
-        self.cache.invalidate(entry.fingerprint)
-        return True
+        """Remove ``name``; its cached factorization is invalidated unless
+        another registration of identical content still uses it."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+            self._ephemeral.pop(name, None)
+            if entry is None:
+                return False
+            self._invalidate_unshared_locked(entry.fingerprint)
+            return True
+
+    def _invalidate_unshared_locked(self, fingerprint: str,
+                                    excluding: Optional[str] = None) -> None:
+        """Invalidate a cache entry only when no (other) registration shares
+        its content fingerprint — the cache is content-addressed, so two
+        registrations of equal content hold one factorization between them."""
+        for other_name, other in self._entries.items():
+            if other_name != excluding and other.fingerprint == fingerprint:
+                return
+        self.cache.invalidate(fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # ephemeral lifecycle
+    # ------------------------------------------------------------------ #
+    def acquire(self, name: str) -> RegisteredKernel:
+        """Look up ``name`` and, if ephemeral, pin it for one open session."""
+        with self._lock:
+            entry = self.get(name)
+            state = self._ephemeral.get(name)
+            if state is not None:
+                state.sessions += 1
+            return entry
+
+    def release(self, name: str) -> None:
+        """Drop one session's pin; starts the TTL clock at zero sessions.
+
+        No-op for permanent or already-unregistered names, so sessions can
+        release unconditionally on close.
+        """
+        with self._lock:
+            state = self._ephemeral.get(name)
+            if state is not None:
+                state.sessions = max(state.sessions - 1, 0)
+                if state.sessions == 0:
+                    state.idle_since = self._clock()
+            self._sweep_locked()
+
+    def sweep(self) -> int:
+        """Unregister expired ephemeral entries; returns how many were dropped.
+
+        Runs automatically inside ``register``/``release``/``serve`` — this
+        public form exists for explicit maintenance ticks in long-running
+        services.
+        """
+        with self._lock:
+            return self._sweep_locked()
+
+    def _sweep_locked(self) -> int:
+        if self.anonymous_ttl is None:
+            return 0
+        now = self._clock()
+        expired = [name for name, state in self._ephemeral.items()
+                   if state.sessions == 0 and now - state.idle_since >= self.anonymous_ttl]
+        for name in expired:
+            del self._ephemeral[name]
+            entry = self._entries.pop(name, None)
+            if entry is not None:
+                self._invalidate_unshared_locked(entry.fingerprint)
+        return len(expired)
+
+    def is_ephemeral(self, name: str) -> bool:
+        """Whether ``name`` is an ephemeral (TTL-managed) registration."""
+        with self._lock:
+            return name in self._ephemeral
 
     # ------------------------------------------------------------------ #
     def get(self, name: str) -> RegisteredKernel:
-        try:
-            return self._entries[name]
-        except KeyError:
-            raise KeyError(
-                f"no kernel registered under {name!r}; known: {sorted(self._entries)}"
-            ) from None
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                raise KeyError(
+                    f"no kernel registered under {name!r}; known: {sorted(self._entries)}"
+                ) from None
 
     def names(self) -> List[str]:
-        return sorted(self._entries)
+        with self._lock:
+            return sorted(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._entries
+        with self._lock:
+            return name in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # ------------------------------------------------------------------ #
     def session(self, name: str, **kwargs) -> "SamplerSession":
-        """Open a :class:`~repro.service.session.SamplerSession` on ``name``."""
+        """Open a :class:`~repro.service.session.SamplerSession` on ``name``.
+
+        Sessions on ephemeral registrations pin them until
+        :meth:`~repro.service.session.SamplerSession.close`.
+        """
         from repro.service.session import SamplerSession
 
-        return SamplerSession(self.get(name), self.cache, **kwargs)
+        entry = self.acquire(name)
+        release = self.is_ephemeral(name)
+        return SamplerSession(entry, self.cache, registry=self if release else None,
+                              **kwargs)

@@ -12,6 +12,13 @@ concatenated; identical marginal-vector queries → answered once and shared)
 and executed as a single batch through the real execution backend, then
 split back per request.
 
+The scheduler's backend may be any engine backend, including
+``backend="process"``: fused batches then ship through the process backend's
+shared-memory kernel store and execute across worker processes, which is how
+fused rounds escape the GIL on the pure-Python oracle paths (named backends
+resolve to one shared instance, so every drain reuses the same worker pool
+and published kernel segments).
+
 Determinism contract: fusion never touches a request's random stream (each
 request owns a generator, by explicit seed or a :func:`repro.utils.rng.substream`
 of the scheduler's root seed) and the stacked oracle primitives answer each

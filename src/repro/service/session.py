@@ -52,17 +52,62 @@ class SamplerSession:
     Sessions are cheap: they hold no heavy state of their own beyond a memo
     of constructed distribution objects (one per requested cardinality), all
     backed by the shared factorization cache.
+
+    Sessions opened on *ephemeral* registrations (``repro.serve(matrix)``
+    auto-names) pin the registration while open; :meth:`close` — or leaving
+    the session's ``with`` block — releases the pin so the registry's TTL can
+    reclaim the entry.  Long-running services should treat sessions as
+    scoped handles, not process-lifetime globals.
     """
 
     def __init__(self, entry: RegisteredKernel, cache: Optional[FactorizationCache] = None, *,
-                 backend: BackendLike = None):
+                 backend: BackendLike = None, registry=None):
         self.entry = entry
         self.cache = cache if cache is not None else FactorizationCache()
         self.backend = backend
+        self._registry = registry  # non-None => release entry.name on close
         self._lock = threading.RLock()
         self._distributions: Dict[object, SubsetDistribution] = {}
         self._scheduler = None
+        self._closed = False
         self.samples_served = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release this session: drop memos and unpin any ephemeral registration.
+
+        Idempotent; sampling through a closed session raises
+        ``RuntimeError``.  The factorization cache is shared and untouched —
+        other sessions on the same kernel keep their warm artifacts.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            registry, self._registry = self._registry, None
+            self._distributions.clear()
+            self._scheduler = None
+        if registry is not None:
+            registry.release(self.entry.name)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"session on kernel {self.entry.name!r} is closed"
+            )
+
+    def __enter__(self) -> "SamplerSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     @property
@@ -124,6 +169,7 @@ class SamplerSession:
         point (``sample_kdpp_spectral`` / ``sample_symmetric_kdpp_parallel``
         / ...): the cache changes wall-clock, never the sample.
         """
+        self._check_open()
         method = self._resolve_method(method)
         if method == "spectral":
             result = self._sample_spectral(k, seed, tracker)
@@ -219,6 +265,7 @@ class SamplerSession:
         from repro.service.scheduler import RoundScheduler
 
         with self._lock:
+            self._check_open()
             if self._scheduler is None:
                 self._scheduler = RoundScheduler(self, backend=backend, seed=seed)
             elif backend is not None or seed is not None:

@@ -120,3 +120,26 @@ class TestSpectralSamplers:
         eigenvalues = np.clip(np.linalg.eigvalsh(L), 0.0, None)
         with pytest.raises(ValueError):
             select_kdpp_eigenvectors(eigenvalues, 5, np.random.default_rng(0))
+
+
+class TestPhaseTwoDegenerateBasis:
+    """Regression: a near-axis-aligned eigenbasis used to crash phase 2.
+
+    With an almost-diagonal ensemble, projecting out the selected element
+    leaves a leading near-zero column; unpivoted QR then attributes the
+    surviving dimension's mass to the upper triangle of ``r`` and the
+    threshold dropped a real dimension ("ran out of probability mass").
+    """
+
+    DEGENERATE = np.array([[5.00010000e-02, 1.06939813e-11],
+                           [1.06939813e-11, 1.05000100e+00]])
+
+    def test_full_cardinality_sample_succeeds(self):
+        for seed in range(8):
+            assert sample_kdpp_spectral(self.DEGENERATE, 2, seed=seed) == (0, 1)
+
+    def test_larger_near_diagonal_ensemble(self):
+        L = np.diag([0.05, 0.5, 1.05, 2.0]) + 1e-11
+        for seed in range(8):
+            subset = sample_kdpp_spectral(L, 4, seed=seed)
+            assert subset == (0, 1, 2, 3)

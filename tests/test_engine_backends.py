@@ -191,6 +191,48 @@ class TestBackendConfiguration:
         assert len(result.subset) == 4
 
 
+class TestThreadPoolReuse:
+    """The executor is created once and reused across batches (satellite fix:
+    a fresh ThreadPoolExecutor per OracleBatch dominated small rounds)."""
+
+    def test_executor_survives_across_batches(self, kdpp):
+        backend = ThreadPoolBackend(max_workers=2)
+        try:
+            assert backend._pool is None  # lazy: no pool before the first batch
+            backend.execute(OracleBatch.counting(kdpp, [(0,), (1,)]), tracker=Tracker())
+            pool = backend._pool
+            assert pool is not None
+            backend.execute(OracleBatch.counting(kdpp, [(2,), (3,)]), tracker=Tracker())
+            assert backend._pool is pool
+        finally:
+            backend.close()
+
+    def test_close_then_reuse_recreates_pool(self, kdpp):
+        backend = ThreadPoolBackend(max_workers=2)
+        try:
+            first = backend.execute(OracleBatch.counting(kdpp, [(0,)]), tracker=Tracker())
+            backend.close()
+            assert backend._pool is None
+            again = backend.execute(OracleBatch.counting(kdpp, [(0,)]), tracker=Tracker())
+            np.testing.assert_allclose(again.values, first.values)
+        finally:
+            backend.close()
+
+    def test_values_unchanged_by_reuse(self, kdpp):
+        subsets = [(0,), (1,), (0, 1), (2, 3, 4)]
+        backend = ThreadPoolBackend(max_workers=3)
+        try:
+            reference = SerialBackend().execute(OracleBatch.counting(kdpp, subsets),
+                                                tracker=Tracker())
+            for _ in range(3):
+                result = backend.execute(OracleBatch.counting(kdpp, subsets),
+                                         tracker=Tracker())
+                np.testing.assert_allclose(result.values, reference.values,
+                                           rtol=1e-9, atol=1e-12)
+        finally:
+            backend.close()
+
+
 class _CountingSpy(SubsetDistribution):
     """Wraps a distribution, counting how often the normalizer is queried."""
 

@@ -422,3 +422,193 @@ class TestServiceHardening:
         assert waved == expected
         with pytest.raises(ValueError, match="max_concurrency"):
             RoundScheduler(session, max_concurrency=0)
+
+
+# ---------------------------------------------------------------------- #
+# registry lifecycle: ephemeral registrations, TTL, session close
+# ---------------------------------------------------------------------- #
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRegistryLifecycle:
+    def test_serve_matrix_registration_is_ephemeral(self, psd):
+        registry = KernelRegistry()
+        session = serve(psd, registry=registry)
+        assert registry.is_ephemeral(session.entry.name)
+        assert len(registry) == 1
+        session.close()
+
+    def test_named_registration_is_permanent(self, psd):
+        registry = KernelRegistry(anonymous_ttl=0.0)
+        session = serve(psd, name="movies", registry=registry)
+        session.close()
+        registry.sweep()
+        assert "movies" in registry
+
+    def test_close_releases_and_ttl_reclaims(self, psd):
+        clock = _FakeClock()
+        registry = KernelRegistry(anonymous_ttl=10.0, clock=clock)
+        session = serve(psd, registry=registry)
+        name = session.entry.name
+        clock.advance(100.0)
+        registry.sweep()  # pinned by the open session: must survive any idle time
+        assert name in registry
+        session.close()
+        clock.advance(9.0)
+        registry.sweep()
+        assert name in registry  # idle but not yet expired
+        clock.advance(2.0)
+        assert registry.sweep() == 1
+        assert name not in registry
+        # the cached factorization was invalidated with the registration
+        assert session.entry.fingerprint not in registry.cache
+
+    def test_ttl_zero_reclaims_on_close(self, psd):
+        registry = KernelRegistry(anonymous_ttl=0.0)
+        session = serve(psd, registry=registry)
+        name = session.entry.name
+        session.close()
+        assert name not in registry
+
+    def test_second_serve_repins_idle_entry(self, psd):
+        clock = _FakeClock()
+        registry = KernelRegistry(anonymous_ttl=10.0, clock=clock)
+        first = serve(psd, registry=registry)
+        first.close()
+        clock.advance(5.0)
+        second = serve(psd, registry=registry)  # same content: same entry, repinned
+        assert second.entry.name == first.entry.name
+        clock.advance(100.0)
+        registry.sweep()
+        assert second.entry.name in registry
+        second.close()
+
+    def test_close_is_idempotent_and_blocks_sampling(self, psd):
+        registry = KernelRegistry()
+        session = serve(psd, registry=registry)
+        session.sample(k=3, seed=1)
+        session.close()
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.sample(k=3, seed=1)
+        with pytest.raises(RuntimeError, match="closed"):
+            session.submit(3, seed=1)
+
+    def test_context_manager_closes(self, psd):
+        registry = KernelRegistry(anonymous_ttl=0.0)
+        with serve(psd, registry=registry) as session:
+            assert len(session.sample(k=3, seed=5).subset) == 3
+            name = session.entry.name
+        assert session.closed
+        assert name not in registry
+
+    def test_explicit_register_promotes_ephemeral(self, psd):
+        registry = KernelRegistry(anonymous_ttl=0.0)
+        session = serve(psd, registry=registry)
+        name = session.entry.name
+        registry.register(name, psd)  # explicit (permanent) re-registration
+        session.close()
+        assert name in registry
+
+
+# ---------------------------------------------------------------------- #
+# factorization cache: single-flight artifact computation
+# ---------------------------------------------------------------------- #
+class TestCacheSingleFlight:
+    def test_concurrent_misses_compute_once(self, psd):
+        from repro.service.cache import KernelFactorization
+
+        fact = KernelFactorization(psd)
+        computed = []
+        gate = threading.Event()
+
+        def compute():
+            gate.wait(1.0)
+            computed.append(threading.get_ident())
+            return np.linalg.eigvalsh(0.5 * (psd + psd.T))
+
+        results = [None] * 4
+
+        def worker(i):
+            results[i] = fact._get("artifact", compute)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        assert len(computed) == 1
+        for value in results[1:]:
+            assert value is results[0]
+
+    def test_leader_failure_lets_followers_retry(self, psd):
+        from repro.service.cache import KernelFactorization
+
+        fact = KernelFactorization(psd)
+        attempts = []
+
+        def flaky():
+            attempts.append(None)
+            if len(attempts) == 1:
+                raise RuntimeError("first compute fails")
+            return "ok"
+
+        with pytest.raises(RuntimeError, match="first compute fails"):
+            fact._get("flaky", flaky)
+        assert fact._get("flaky", flaky) == "ok"
+        assert len(attempts) == 2
+
+    def test_different_artifacts_do_not_serialize(self, psd):
+        """A slow computation of one artifact must not block another key."""
+        from repro.service.cache import KernelFactorization
+
+        fact = KernelFactorization(psd)
+        slow_started = threading.Event()
+        release_slow = threading.Event()
+
+        def slow():
+            slow_started.set()
+            release_slow.wait(5.0)
+            return "slow"
+
+        slow_result = []
+        t = threading.Thread(target=lambda: slow_result.append(fact._get("slow", slow)))
+        t.start()
+        assert slow_started.wait(5.0)
+        # while "slow" is in flight, an independent artifact computes freely
+        assert fact._get("fast", lambda: "fast") == "fast"
+        release_slow.set()
+        t.join()
+        assert slow_result == ["slow"]
+
+
+class TestSharedFingerprintInvalidation:
+    def test_sweep_keeps_cache_entry_shared_with_permanent_registration(self, psd):
+        clock = _FakeClock()
+        registry = KernelRegistry(anonymous_ttl=0.0, clock=clock)
+        registry.register("movies", psd)  # permanent, same content
+        session = serve(psd, registry=registry)  # ephemeral twin
+        fingerprint = session.entry.fingerprint
+        assert fingerprint == registry.get("movies").fingerprint
+        registry.cache.factorization(psd, fingerprint=fingerprint)  # warm it
+        session.close()  # ttl=0: ephemeral entry reclaimed immediately
+        assert session.entry.name not in registry
+        # the warm factorization survives: "movies" still uses it
+        assert fingerprint in registry.cache
+
+    def test_unregister_invalidates_when_unshared(self, psd):
+        registry = KernelRegistry()
+        entry = registry.register("only", psd)
+        registry.cache.factorization(psd, fingerprint=entry.fingerprint)
+        assert entry.fingerprint in registry.cache
+        registry.unregister("only")
+        assert entry.fingerprint not in registry.cache
