@@ -49,3 +49,20 @@ def record(benchmark, **info) -> None:
         if isinstance(value, (np.floating, np.integer)):
             value = float(value)
         benchmark.extra_info[key] = value
+
+
+def best_of(run, repeats: int = 3) -> float:
+    """Minimum wall-clock seconds of ``run()`` over ``repeats`` calls.
+
+    The shared timing primitive of the sweep-style benchmarks: min-of-N is
+    robust to one-off scheduler hiccups on shared runners, and keeping one
+    definition here stops per-script copies from diverging.
+    """
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best

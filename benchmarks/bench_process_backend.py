@@ -28,6 +28,7 @@ from typing import Dict, List
 import numpy as np
 import pytest
 
+from _helpers import best_of
 from repro.dpp.nonsymmetric import NonsymmetricKDPP
 from repro.dpp.partition import PartitionDPP
 from repro.engine import (
@@ -68,12 +69,7 @@ def _charpoly_workload():
 
 
 def _best_of(run, repeats: int = REPEATS) -> float:
-    best = np.inf
-    for _ in range(repeats):
-        start = time.perf_counter()
-        run()
-        best = min(best, time.perf_counter() - start)
-    return best
+    return best_of(run, repeats)
 
 
 def _measure(name: str, dist, subsets, process_backend) -> Dict[str, object]:

@@ -53,9 +53,11 @@ from repro.service import (
     serve,
 )
 from repro.engine import (
+    AutoBackend,
     OracleBatch,
     OracleBatchResult,
     ProcessPoolBackend,
+    RoundPlanner,
     SerialBackend,
     ThreadPoolBackend,
     VectorizedBackend,
@@ -103,8 +105,10 @@ __all__ = [
     "SampleResult",
     "SamplerReport",
     "Tracker",
+    "AutoBackend",
     "OracleBatch",
     "OracleBatchResult",
+    "RoundPlanner",
     "SerialBackend",
     "VectorizedBackend",
     "ThreadPoolBackend",

@@ -24,6 +24,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.pram.cost import OracleCostHint
 from repro.pram.tracker import current_tracker
 from repro.utils.subsets import Subset, all_subsets_of_size, subset_key
 from repro.utils.validation import check_subset
@@ -106,6 +107,23 @@ class SubsetDistribution(abc.ABC):
         raise NotImplementedError(
             f"{cls.__name__} does not implement the worker-payload contract"
         )
+
+    # ------------------------------------------------------------------ #
+    # execution-cost hint (the engine's cost-aware planner)
+    # ------------------------------------------------------------------ #
+    def oracle_cost_hint(self) -> OracleCostHint:
+        """Structural cost facts about this distribution's oracle batches.
+
+        The :class:`~repro.engine.planner.RoundPlanner` combines the hint
+        with the calibrated PRAM cost model to route each
+        :class:`~repro.engine.batch.OracleBatch` to the cheapest backend.
+        The default is honest about the generic implementation: queries cost
+        a ``matrix_order``-sized computation of GIL-bound Python (the scalar
+        ``counting`` loop), and ``counting_batch`` does not vectorize.
+        Structured subclasses override with their real profile.
+        """
+        return OracleCostHint(matrix_order=self.n, python_fraction=1.0,
+                              batch_vectorized=False)
 
     # ------------------------------------------------------------------ #
     # derived quantities

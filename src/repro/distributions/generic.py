@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.distributions.base import SubsetDistribution
+from repro.pram.cost import OracleCostHint
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.subsets import Subset, all_subsets_of_size, binomial, subset_key
 from repro.utils.validation import check_subset
@@ -81,6 +82,11 @@ class ExplicitDistribution(SubsetDistribution):
                 weights[row] = weight
             self._support_cache = (mask, weights)
         return self._support_cache
+
+    def oracle_cost_hint(self) -> OracleCostHint:
+        """Table batches are one mask matmul: vectorized, no Python lane."""
+        return OracleCostHint(matrix_order=self.n, python_fraction=0.1,
+                              batch_vectorized=True)
 
     # ------------------------------------------------------------------ #
     # SubsetDistribution interface

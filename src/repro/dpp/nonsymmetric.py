@@ -34,6 +34,7 @@ from repro.linalg.batch import (
 )
 from repro.linalg.determinant import principal_minor
 from repro.linalg.schur import condition_ensemble
+from repro.pram.cost import OracleCostHint
 from repro.pram.tracker import current_tracker
 from repro.utils.validation import check_positive_int, check_subset
 
@@ -91,6 +92,11 @@ class NonsymmetricDPP(SubsetDistribution):
         if params["z"] is not None:
             dist._z = float(params["z"])
         return dist
+
+    def oracle_cost_hint(self) -> OracleCostHint:
+        """Marginal-kernel minors, exactly like the symmetric DPP."""
+        return OracleCostHint(matrix_order=self.n, python_fraction=0.05,
+                              batch_vectorized=True)
 
     # ------------------------------------------------------------------ #
     def unnormalized(self, subset: Iterable[int]) -> float:
@@ -190,6 +196,17 @@ class NonsymmetricKDPP(HomogeneousDistribution):
                    labels=params["labels"], partition_function=params["z"])
 
     # ------------------------------------------------------------------ #
+    def oracle_cost_hint(self) -> OracleCostHint:
+        """Charpoly minor sums: a substantial GIL-bound Python lane.
+
+        The batch route stacks determinants/Schur complements, but the
+        per-group ESP evaluation and the charpoly recursions behind the
+        normalizer keep a sizable interpreted share — this is one of the two
+        workloads the process backend was built for.
+        """
+        return OracleCostHint(matrix_order=self.n, python_fraction=0.5,
+                              batch_vectorized=True)
+
     def unnormalized(self, subset: Iterable[int]) -> float:
         items = check_subset(subset, self.n)
         if len(items) != self.k:

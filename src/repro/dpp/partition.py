@@ -31,6 +31,7 @@ from repro.linalg.batch import (
 from repro.linalg.determinant import principal_minor
 from repro.linalg.interpolation import tensor_product_nodes, tensor_vandermonde_solve
 from repro.linalg.schur import condition_ensemble
+from repro.pram.cost import OracleCostHint
 from repro.pram.tracker import current_tracker
 from repro.utils.validation import check_subset
 
@@ -107,6 +108,18 @@ class PartitionDPP(HomogeneousDistribution):
     def from_worker_payload(cls, arrays, params):
         return cls(arrays["L"], params["parts"], params["counts"], validate=False,
                    labels=params["labels"], partition_function=params["z"])
+
+    def oracle_cost_hint(self) -> OracleCostHint:
+        """Interpolation grids: heavily GIL-bound.
+
+        Each surviving subset of a batch evaluates its own tensor-product
+        interpolation grid (a Python loop around stacked determinants plus
+        the Vandermonde solve), and the grid has ``∏(|P_i|+1)`` nodes — so
+        the effective per-query order is well above ``n`` and the Python
+        lane dominates.  This is the flagship process-backend workload.
+        """
+        return OracleCostHint(matrix_order=self.n, python_fraction=0.8,
+                              batch_vectorized=True)
 
     # ------------------------------------------------------------------ #
     # densities

@@ -6,8 +6,18 @@ phase 2 selects one element per chosen eigenvector, conditioning the projection
 at every step — an inherently sequential loop of ``|Y|`` rounds, which is
 exactly the ``Ω(k)`` depth the paper's batched samplers beat.
 
-Each iteration of phase 2 is charged one adaptive round to the PRAM tracker so
-benchmark comparisons of "rounds" are apples-to-apples.
+Each phase-2 step is expressed as one ``projection_step``
+:class:`~repro.engine.batch.OracleBatch` executed through the engine (the
+numerics live in :func:`repro.linalg.batch.hkpv_projection_step`): project
+out the previously selected element, re-orthonormalize, return the squared
+row norms the next selection draws from.  Routing the round through the
+engine keeps the sampler's depth accounting where every other sampler's is
+(one adaptive round per batch), lets the cost-aware planner see it, and —
+the real payoff — makes it fusable: the serving layer's
+:class:`~repro.service.scheduler.RoundScheduler` stacks the lockstep steps
+of concurrent same-kernel requests into single batched QR rounds.  The
+projection kind has a single fixed numerical route on every backend, so
+backend choice (or fusion) never perturbs a fixed-seed sample.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.dpp.kernels import validate_ensemble
+from repro.engine import BackendLike, OracleBatch, resolve_backend
 from repro.linalg.esp import elementary_symmetric_polynomials
 from repro.pram.tracker import current_tracker
 from repro.utils.rng import SeedLike, as_generator
@@ -59,65 +70,54 @@ def _resolve_eigh(ensemble: np.ndarray, eigh: Optional[EighPair]) -> EighPair:
     return np.clip(eigenvalues, 0.0, None), eigenvectors
 
 
-def _phase_two(vectors: np.ndarray, seed: SeedLike = None) -> Tuple[int, ...]:
+def _phase_two(vectors: np.ndarray, seed: SeedLike = None, *,
+               backend: BackendLike = None) -> Tuple[int, ...]:
     """HKPV phase 2: sample one element per selected eigenvector.
 
     ``vectors`` has shape ``(n, m)`` — an orthonormal basis of the selected
-    eigenspace.  Each of the ``m`` iterations is one sequential round.
+    eigenspace.  Each of the ``m`` iterations is one ``projection_step``
+    engine round (project out the last selected element, re-orthonormalize,
+    read the squared row norms), so depth accounting is unchanged — one
+    adaptive round per step — while the rounds become visible to the
+    planner and fusable by the serving layer's scheduler.  All randomness
+    stays here in the driver; the engine round is deterministic.
     """
     rng = as_generator(seed)
+    engine = resolve_backend(backend)
     tracker = current_tracker()
     n, m = vectors.shape
-    V = vectors.copy()
+    basis = vectors.copy()
     selected: List[int] = []
-    for step in range(m, 0, -1):
-        with tracker.round("hkpv-step"):
-            # probability of picking element i is ||row_i(V)||^2 / remaining
-            weights = np.sum(V ** 2, axis=1)
-            total = weights.sum()
-            if total <= 0:
-                raise RuntimeError("spectral sampler ran out of probability mass")
-            probs = np.clip(weights / total, 0.0, None)
-            probs = probs / probs.sum()
-            item = int(rng.choice(n, p=probs))
-            selected.append(item)
-            if step == 1:
-                break
-            # project the basis onto the orthogonal complement of e_item
-            row = V[item, :]
-            norm = np.linalg.norm(row)
-            if norm <= 0:
-                raise RuntimeError("selected an element with zero residual norm")
-            direction = row / norm
-            V = V - np.outer(V @ direction, direction)
-            # re-orthonormalize and drop the collapsed dimension
-            q, r = np.linalg.qr(V)
-            keep = np.abs(np.diag(r)) > 1e-9
-            if int(keep.sum()) < V.shape[1] - 1:
-                # The projection has rank exactly m-1, but unpivoted QR can
-                # hide a surviving dimension's mass in the upper triangle of
-                # ``r`` when a leading column is nearly zero (e.g. an almost
-                # axis-aligned eigenbasis), dropping a real dimension and
-                # exhausting the probability mass downstream.  A pivoted QR
-                # orders the diagonal by magnitude, so the first m-1 columns
-                # are exactly the surviving subspace.
-                from scipy.linalg import qr as _pivoted_qr
-
-                q, _r, _perm = _pivoted_qr(V, mode="economic", pivoting=True)
-                keep = np.zeros(q.shape[1], dtype=bool)
-                keep[:V.shape[1] - 1] = True
-            V = q[:, keep]
-            tracker.charge(work=float(n) * m * m, machines=float(n))
+    last: Optional[int] = None
+    for _step in range(m, 0, -1):
+        result = engine.execute(
+            OracleBatch.projection_step(
+                basis, eliminate=None if last is None else (last,), label="hkpv-step"),
+            tracker=tracker,
+        )
+        basis = result.artifacts["bases"][0]
+        weights = result.values
+        total = weights.sum()
+        if total <= 0:
+            raise RuntimeError("spectral sampler ran out of probability mass")
+        probs = np.clip(weights / total, 0.0, None)
+        probs = probs / probs.sum()
+        item = int(rng.choice(n, p=probs))
+        selected.append(item)
+        last = item
     return subset_key(selected)
 
 
 def sample_dpp_spectral(L: np.ndarray, seed: SeedLike = None, *, validate: bool = True,
-                        eigh: Optional[EighPair] = None) -> Tuple[int, ...]:
+                        eigh: Optional[EighPair] = None,
+                        backend: BackendLike = None) -> Tuple[int, ...]:
     """Exact sequential sample from the symmetric DPP with ensemble matrix ``L``.
 
     ``eigh`` optionally supplies a precomputed ``symmetrized_eigh(L)`` pair
     (e.g. from a warm factorization cache); the sampler then skips the
     eigendecomposition while drawing the identical sample for a fixed seed.
+    ``backend`` selects how the phase-2 engine rounds execute — wall-clock
+    only, never the sample (the projection kind is fixed-route).
     """
     ensemble = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
     rng = as_generator(seed)
@@ -129,7 +129,7 @@ def sample_dpp_spectral(L: np.ndarray, seed: SeedLike = None, *, validate: bool 
     include = rng.random(n) < eigenvalues / (1.0 + eigenvalues)
     if not np.any(include):
         return ()
-    return _phase_two(eigenvectors[:, include], rng)
+    return _phase_two(eigenvectors[:, include], rng, backend=backend)
 
 
 def select_kdpp_eigenvectors(eigenvalues: np.ndarray, k: int, seed: SeedLike = None) -> np.ndarray:
@@ -169,11 +169,13 @@ def select_kdpp_eigenvectors(eigenvalues: np.ndarray, k: int, seed: SeedLike = N
 
 def sample_kdpp_spectral(L: np.ndarray, k: int, seed: SeedLike = None, *,
                          validate: bool = True,
-                         eigh: Optional[EighPair] = None) -> Tuple[int, ...]:
+                         eigh: Optional[EighPair] = None,
+                         backend: BackendLike = None) -> Tuple[int, ...]:
     """Exact sequential sample from the symmetric k-DPP with ensemble matrix ``L``.
 
-    ``eigh`` optionally supplies a precomputed ``symmetrized_eigh(L)`` pair;
-    see :func:`sample_dpp_spectral`.
+    ``eigh`` optionally supplies a precomputed ``symmetrized_eigh(L)`` pair
+    and ``backend`` routes the phase-2 engine rounds; see
+    :func:`sample_dpp_spectral`.
     """
     ensemble = validate_ensemble(L, symmetric=True) if validate else np.asarray(L, dtype=float)
     rng = as_generator(seed)
@@ -185,4 +187,4 @@ def sample_kdpp_spectral(L: np.ndarray, k: int, seed: SeedLike = None, *,
         tracker.charge_determinant(n)
         eigenvalues, eigenvectors = _resolve_eigh(ensemble, eigh)
     include = select_kdpp_eigenvectors(eigenvalues, k, rng)
-    return _phase_two(eigenvectors[:, include], rng)
+    return _phase_two(eigenvectors[:, include], rng, backend=backend)

@@ -33,6 +33,7 @@ from repro.linalg.batch import (
 from repro.linalg.determinant import principal_minor
 from repro.linalg.esp import elementary_symmetric_polynomials
 from repro.linalg.schur import condition_ensemble
+from repro.pram.cost import OracleCostHint
 from repro.pram.tracker import current_tracker
 from repro.utils.validation import check_positive_int, check_subset
 
@@ -100,6 +101,11 @@ class SymmetricDPP(SubsetDistribution):
         if params["z"] is not None:
             dist._z = float(params["z"])
         return dist
+
+    def oracle_cost_hint(self) -> OracleCostHint:
+        """Marginal-kernel minors: stacked LAPACK, negligible Python lane."""
+        return OracleCostHint(matrix_order=self.n, python_fraction=0.05,
+                              batch_vectorized=True)
 
     # ------------------------------------------------------------------ #
     # counting oracle and densities
@@ -291,6 +297,15 @@ class SymmetricKDPP(HomogeneousDistribution):
             if "factor_gram" in arrays:
                 dist._factor_gram = arrays["factor_gram"]
         return dist
+
+    def oracle_cost_hint(self) -> OracleCostHint:
+        """Rank-r Gram reductions + batched ESPs: LAPACK-dominated.
+
+        The ESP recursion is vectorized across the batch (one NumPy pass per
+        order), so only a thin Python lane remains.
+        """
+        return OracleCostHint(matrix_order=self.n, python_fraction=0.1,
+                              batch_vectorized=True)
 
     # ------------------------------------------------------------------ #
     def unnormalized(self, subset: Iterable[int]) -> float:

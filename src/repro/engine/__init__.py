@@ -23,9 +23,15 @@ a first-class object and separates the *what* from the *how*:
   :class:`~repro.engine.backends.ProcessPoolBackend` (worker processes over
   a :mod:`multiprocessing.shared_memory` kernel store —
   :mod:`repro.engine.shm` — so GIL-bound oracle paths scale across cores).
+* :class:`~repro.engine.planner.AutoBackend` / ``backend="auto"`` (the
+  default) — the cost-aware :class:`~repro.engine.planner.RoundPlanner`
+  prices every batch on every eligible backend (calibrated PRAM cost model
+  × per-backend :meth:`~repro.engine.backends.ExecutionBackend.traits`
+  descriptors × per-distribution cost hints) and routes it to the cheapest.
 * :func:`~repro.engine.config.configure_backend` /
   :func:`~repro.engine.config.use_backend` — process-wide / scoped selection;
-  every sampler additionally accepts ``backend=...`` per call.
+  every sampler additionally accepts ``backend=...`` per call, which always
+  bypasses the planner.
 
 Backends answer the *same* queries with the same numerics, so fixed-seed
 sampler runs produce identical samples across backends; the PRAM tracker
@@ -35,12 +41,14 @@ paper's depth accounting independent of wall-clock engineering.
 
 from repro.engine.batch import BATCH_KINDS, BatchPayload, OracleBatch, OracleBatchResult
 from repro.engine.backends import (
+    BackendTraits,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     ThreadPoolBackend,
     VectorizedBackend,
 )
+from repro.engine.planner import AutoBackend, PlanDecision, RoundPlanner, probe_dispatch_overhead
 from repro.engine.shm import ArrayRef, SharedArrayStore, shared_memory_available
 from repro.engine.config import (
     BACKEND_REGISTRY,
@@ -65,15 +73,20 @@ def execute_batch(batch: OracleBatch, *, tracker: Optional[Tracker] = None,
 __all__ = [
     "BATCH_KINDS",
     "ArrayRef",
+    "AutoBackend",
+    "BackendTraits",
     "BatchPayload",
     "OracleBatch",
     "OracleBatchResult",
     "ExecutionBackend",
+    "PlanDecision",
+    "RoundPlanner",
     "SerialBackend",
     "SharedArrayStore",
     "VectorizedBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "probe_dispatch_overhead",
     "shared_memory_available",
     "BACKEND_REGISTRY",
     "BackendLike",

@@ -34,13 +34,57 @@ import time
 import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.engine.batch import BatchPayload, OracleBatch, OracleBatchResult
-from repro.linalg.batch import grouped_log_principal_minors
+from repro.linalg.batch import grouped_log_principal_minors, hkpv_projection_step
 from repro.pram.tracker import Tracker, current_tracker, use_tracker
+
+
+@dataclass(frozen=True)
+class BackendTraits:
+    """Capability/overhead descriptor a backend reports to the planner.
+
+    The overhead fields are *priors*: the
+    :class:`~repro.engine.planner.RoundPlanner` replaces
+    ``dispatch_overhead_s`` with a per-process calibrated probe the first
+    time it seriously considers the backend, so the traits only need to land
+    in the right decade.
+
+    Attributes
+    ----------
+    parallelism:
+        Concurrent lanes the backend fans a batch out to (1 for the
+        in-process backends).
+    escapes_gil:
+        Whether GIL-bound (pure-Python) oracle work actually runs on
+        ``parallelism`` lanes — only true for worker *processes*; thread
+        lanes serialize the Python-lane share of a batch.
+    scalar_loop:
+        Whether queries are answered through scalar ``counting()`` calls
+        (serial/threads) instead of the distributions' stacked batch
+        oracles, forfeiting the vectorized fan-out.
+    dispatch_overhead_s:
+        Fixed cost of launching one batch (thread-pool handoff, or the
+        process backend's IPC round trip + payload publication).
+    per_query_overhead_s:
+        Marginal per-query dispatch cost (future bookkeeping, pickling of
+        query indices).
+    """
+
+    name: str
+    parallelism: int = 1
+    escapes_gil: bool = False
+    scalar_loop: bool = False
+    dispatch_overhead_s: float = 0.0
+    per_query_overhead_s: float = 0.0
+
+
+#: a ``_dispatch`` return: plain values, or ``(values, artifacts)``
+_DispatchReturn = Union[np.ndarray, Tuple[np.ndarray, Dict[str, object]]]
 
 
 class ExecutionBackend(abc.ABC):
@@ -57,21 +101,31 @@ class ExecutionBackend(abc.ABC):
             trk.charge(machines=float(batch.n_queries))
             with use_tracker(trk):
                 values = self._dispatch(batch, trk)
+        artifacts: Dict[str, object] = {}
+        if isinstance(values, tuple):
+            values, artifacts = values
         return OracleBatchResult(
             values=np.asarray(values),
             backend=self.name,
             wall_time=time.perf_counter() - start,
             n_queries=batch.n_queries,
+            artifacts=artifacts,
         )
 
+    def traits(self) -> BackendTraits:
+        """This backend's capability/overhead descriptor (see :class:`BackendTraits`)."""
+        return BackendTraits(name=self.name)
+
     # ------------------------------------------------------------------ #
-    def _dispatch(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
+    def _dispatch(self, batch: OracleBatch, tracker: Tracker) -> _DispatchReturn:
         if batch.kind == "counting":
             return self._counting(batch, tracker)
         if batch.kind == "joint_marginals":
             return self._joint_marginals(batch, tracker)
         if batch.kind == "marginal_vector":
             return self._marginal_vector(batch, tracker)
+        if batch.kind == "projection_step":
+            return self._projection_step(batch, tracker)
         return self._log_principal_minors(batch, tracker)
 
     def _marginal_vector(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
@@ -80,6 +134,24 @@ class ExecutionBackend(abc.ABC):
         # proposal numerics identical across backends.
         assert batch.distribution is not None
         return batch.distribution.marginal_vector(batch.given)
+
+    def _projection_step(self, batch: OracleBatch, tracker: Tracker) -> _DispatchReturn:
+        """One HKPV phase-2 round — a fixed route shared by every backend.
+
+        Like ``marginal_vector``, this kind has exactly one numerical route
+        (:func:`repro.linalg.batch.hkpv_projection_step`), so forcing any
+        backend — or letting the planner choose — cannot perturb the
+        sequential sampler's randomness.  Shipping a per-step mutated basis
+        to worker processes could never beat the in-process stacked QR (the
+        basis changes every round, so nothing amortizes), which is why no
+        backend overrides this.
+        """
+        basis = batch.matrix
+        assert basis is not None
+        stacked = basis if basis.ndim == 3 else basis[None]
+        eliminate = batch.given if batch.given else None
+        weights, bases = hkpv_projection_step(stacked, eliminate)
+        return weights.reshape(-1), {"bases": bases}
 
     @abc.abstractmethod
     def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
@@ -101,6 +173,9 @@ class SerialBackend(ExecutionBackend):
     """Reference implementation: a Python loop of scalar oracle calls."""
 
     name = "serial"
+
+    def traits(self) -> BackendTraits:
+        return BackendTraits(name=self.name, scalar_loop=True)
 
     def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
         dist = batch.distribution
@@ -135,6 +210,12 @@ class VectorizedBackend(ExecutionBackend):
     """One stacked NumPy call per batch via the distributions' batch oracles."""
 
     name = "vectorized"
+
+    def traits(self) -> BackendTraits:
+        # single-threaded in-process execution: no dispatch cost at all, and
+        # the stacked batch oracles are the baseline every other backend's
+        # overhead is weighed against
+        return BackendTraits(name=self.name)
 
     def _counting(self, batch: OracleBatch, tracker: Tracker) -> np.ndarray:
         dist = batch.distribution
@@ -180,6 +261,15 @@ class ThreadPoolBackend(ExecutionBackend):
     def workers(self) -> int:
         """Resolved pool size (mirrors the ``concurrent.futures`` default)."""
         return self.max_workers or min(32, (os.cpu_count() or 1) + 4)
+
+    def traits(self) -> BackendTraits:
+        # effective lanes are host-capped: a 4-worker pool on a 1-core box
+        # overlaps nothing, and the planner must know that
+        return BackendTraits(
+            name=self.name, parallelism=min(self.workers, os.cpu_count() or 1),
+            escapes_gil=False, scalar_loop=True,
+            dispatch_overhead_s=5e-4, per_query_overhead_s=1e-5,
+        )
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._pool_lock:
@@ -260,19 +350,48 @@ _WORKER_DISTRIBUTION_CAPACITY = 8
 _worker_distributions: "OrderedDict[str, object]" = OrderedDict()
 
 
+#: BLAS/OpenMP thread-count variables pinned in worker processes
+_WORKER_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "BLIS_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def _pin_worker_blas_threads() -> None:
+    """Worker-process initializer: pin BLAS/OpenMP pools to one thread.
+
+    The process backend already fans out across ``max_workers`` processes;
+    letting each worker's LAPACK additionally spawn ``cpu_count`` BLAS
+    threads oversubscribes wide hosts ``workers x cores``-fold and thrashes
+    caches.  Under ``spawn`` this runs before the first task unpickles (and
+    therefore before NumPy loads its BLAS), so the pin takes effect at
+    library initialization.  ``setdefault`` keeps explicit operator settings
+    (inherited through the environment) authoritative.
+    """
+    for var in _WORKER_BLAS_ENV_VARS:
+        os.environ.setdefault(var, "1")
+
+
 def _process_worker_run(payload: BatchPayload,
                         subsets: Sequence) -> Tuple[np.ndarray, float, int]:
     """Answer one chunk of a shipped batch inside a worker process.
 
-    Runs under a private tracker and returns ``(values, work, oracle_calls)``
-    so the parent can merge PRAM accounting exactly like the thread backend
-    merges its child trackers.  Kernels arrive as shared-memory refs and are
-    rebuilt once per process (see :mod:`repro.engine.shm`).
+    Runs under a private tracker — built from the parent's shipped
+    :class:`~repro.pram.cost.CostModel` when one travels with the payload,
+    so work parity holds under custom models — and returns ``(values, work,
+    oracle_calls)`` so the parent can merge PRAM accounting exactly like the
+    thread backend merges its child trackers.  Kernels arrive as
+    shared-memory refs and are rebuilt once per process (see
+    :mod:`repro.engine.shm`).
     """
     from repro.engine.shm import attach_shared_array
 
     chunk = tuple(tuple(s) for s in subsets)
-    child = Tracker()
+    child = Tracker(payload.cost_model) if payload.cost_model is not None else Tracker()
     with use_tracker(child):
         if payload.kind == "log_principal_minors":
             matrix = attach_shared_array(payload.matrix)
@@ -320,7 +439,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     def __init__(self, max_workers: Optional[int] = None, *,
                  chunk_size: Optional[int] = None, start_method: str = "spawn",
-                 shm_capacity: int = 64):
+                 shm_capacity: int = 64, pin_blas_threads: bool = True):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         if chunk_size is not None and chunk_size < 1:
@@ -329,6 +448,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self.chunk_size = chunk_size
         self.start_method = start_method
         self.shm_capacity = int(shm_capacity)
+        self.pin_blas_threads = bool(pin_blas_threads)
         self._lock = threading.Lock()
         self._pool = None
         self._store = None
@@ -342,6 +462,14 @@ class ProcessPoolBackend(ExecutionBackend):
     def workers(self) -> int:
         """Resolved worker-process count."""
         return self.max_workers or (os.cpu_count() or 1)
+
+    def traits(self) -> BackendTraits:
+        # effective lanes are host-capped (see ThreadPoolBackend.traits)
+        return BackendTraits(
+            name=self.name, parallelism=min(self.workers, os.cpu_count() or 1),
+            escapes_gil=True, scalar_loop=False,
+            dispatch_overhead_s=2e-3, per_query_overhead_s=5e-6,
+        )
 
     # ------------------------------------------------------------------ #
     # pool / store lifecycle
@@ -360,8 +488,10 @@ class ProcessPoolBackend(ExecutionBackend):
                 from concurrent.futures import ProcessPoolExecutor
 
                 context = multiprocessing.get_context(self.start_method)
+                initializer = _pin_worker_blas_threads if self.pin_blas_threads else None
                 self._pool = ProcessPoolExecutor(max_workers=self.workers,
-                                                 mp_context=context)
+                                                 mp_context=context,
+                                                 initializer=initializer)
                 self._register_atexit_locked()
             return self._pool
 
@@ -402,17 +532,28 @@ class ProcessPoolBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     # shipping
     # ------------------------------------------------------------------ #
-    def _payload(self, batch: OracleBatch) -> Optional[BatchPayload]:
-        """Shippable payload for ``batch``, or ``None`` to fall back."""
+    def _payload(self, batch: OracleBatch,
+                 tracker: Optional[Tracker] = None) -> Optional[BatchPayload]:
+        """Shippable payload for ``batch``, or ``None`` to fall back.
+
+        The parent tracker's cost model ships with the payload (when it is
+        not the shared default) so worker trackers charge determinant work
+        on the parent's schedule — exact work parity under custom models.
+        """
         from repro.engine.shm import shared_memory_available
+        from repro.pram.cost import DEFAULT_COST_MODEL
 
         if self._degraded is not None:
             return None
         if not shared_memory_available():
             self._degrade("multiprocessing.shared_memory is unavailable on this host")
             return None
+        cost_model = None
+        if tracker is not None and tracker.cost_model is not DEFAULT_COST_MODEL:
+            cost_model = tracker.cost_model
         try:
-            return batch.to_payload(publish=self._ensure_store().publish)
+            return batch.to_payload(publish=self._ensure_store().publish,
+                                    cost_model=cost_model)
         except Exception as exc:
             kind = type(batch.distribution).__name__ if batch.distribution is not None else "matrix"
             if kind not in self._warned_specs:
@@ -497,7 +638,7 @@ class ProcessPoolBackend(ExecutionBackend):
         """
         if not batch.subsets:
             return np.empty(0, dtype=float)
-        payload = self._payload(batch)
+        payload = self._payload(batch, tracker)
         if payload is not None:
             values = self._fan_out(payload, batch.subsets, tracker)
             if values is not None:

@@ -24,6 +24,18 @@ Batch kinds
     ``log det(M_{T,T})`` for mixed-size subsets of an explicit matrix
     (``-inf`` where the minor is nonpositive) — the filtering sampler's
     density-ratio round.
+``projection_step``
+    One HKPV phase-2 round: project the basis in ``matrix`` onto the
+    orthogonal complement of the previously selected element (``given``,
+    when nonempty) and return the squared row norms — the next element's
+    selection weights.  The re-orthonormalized basis comes back in
+    :attr:`OracleBatchResult.artifacts` (``"bases"``).  Like
+    ``marginal_vector`` this kind has one fixed numerical route
+    (:func:`repro.linalg.batch.hkpv_projection_step`) shared by every
+    backend, so backend choice never perturbs the sequential sampler's
+    randomness; the :class:`~repro.service.scheduler.RoundScheduler` fuses
+    concurrent same-shape steps by stacking the bases (``matrix`` may be a
+    ``(G, n, m)`` stack with one ``given`` entry per request).
 """
 
 from __future__ import annotations
@@ -40,9 +52,11 @@ from repro.utils.subsets import Subset, subset_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.distributions.base import SubsetDistribution
+    from repro.pram.cost import CostModel
 
-#: the four request kinds understood by every backend
-BATCH_KINDS = ("counting", "joint_marginals", "marginal_vector", "log_principal_minors")
+#: the five request kinds understood by every backend
+BATCH_KINDS = ("counting", "joint_marginals", "marginal_vector",
+               "log_principal_minors", "projection_step")
 
 
 @dataclass
@@ -60,9 +74,9 @@ class OracleBatch:
     def __post_init__(self) -> None:
         if self.kind not in BATCH_KINDS:
             raise ValueError(f"unknown batch kind {self.kind!r}; expected one of {BATCH_KINDS}")
-        if self.kind == "log_principal_minors":
+        if self.kind in ("log_principal_minors", "projection_step"):
             if self.matrix is None:
-                raise ValueError("log_principal_minors batches require a matrix")
+                raise ValueError(f"{self.kind} batches require a matrix")
         elif self.distribution is None:
             raise ValueError(f"{self.kind} batches require a distribution")
 
@@ -95,6 +109,19 @@ class OracleBatch:
         return cls(kind="log_principal_minors", matrix=matrix,
                    subsets=tuple(subset_key(s) for s in subsets), label=label)
 
+    @classmethod
+    def projection_step(cls, basis: np.ndarray, *,
+                        eliminate: Optional[Sequence[int]] = None,
+                        label: str = "hkpv-step") -> "OracleBatch":
+        """One HKPV phase-2 round over ``basis`` (``(n, m)`` or a ``(G, n, m)`` stack).
+
+        ``eliminate`` holds the previously selected element per stacked
+        request (empty/None on the first round, before any element exists).
+        """
+        items = () if eliminate is None else tuple(int(i) for i in eliminate)
+        return cls(kind="projection_step", matrix=np.asarray(basis, dtype=float),
+                   given=items, label=label)
+
     # ------------------------------------------------------------------ #
     @property
     def n_queries(self) -> int:
@@ -102,6 +129,11 @@ class OracleBatch:
         if self.kind == "marginal_vector":
             assert self.distribution is not None
             return self.distribution.n
+        if self.kind == "projection_step":
+            assert self.matrix is not None
+            rows = self.matrix.shape[-2]
+            stack = self.matrix.shape[0] if self.matrix.ndim == 3 else 1
+            return int(stack * rows)
         return len(self.subsets)
 
     def normalizer(self) -> float:
@@ -124,7 +156,8 @@ class OracleBatch:
     # serialization round-trip contract (process backend / shm transport)
     # ------------------------------------------------------------------ #
     def to_payload(self, publish: Optional[Callable[[np.ndarray], object]] = None,
-                   *, normalizer: Optional[float] = None) -> "BatchPayload":
+                   *, normalizer: Optional[float] = None,
+                   cost_model: Optional["CostModel"] = None) -> "BatchPayload":
         """Picklable description of this batch for out-of-process execution.
 
         ``publish`` maps each heavy array to a transport token (the process
@@ -138,6 +171,11 @@ class OracleBatch:
 
         Contract: ``payload.to_batch(attach)`` answers every query with the
         same values as the original batch, on every backend.
+
+        ``cost_model`` ships the parent tracker's :class:`CostModel` so
+        worker-side trackers charge determinant work with the parent's
+        schedule — exact work parity under custom models (workers used to
+        fall back to the default model).
         """
         publish = publish if publish is not None else (lambda a: a)
         matrix_token = publish(self.matrix) if self.matrix is not None else None
@@ -176,6 +214,7 @@ class OracleBatch:
             kind=self.kind, subsets=self.subsets, given=self.given, label=self.label,
             normalizer=normalizer if normalizer is not None else self._normalizer,
             matrix=matrix_token, spec=spec, pickled_distribution=blob,
+            cost_model=cost_model,
         )
 
 
@@ -197,6 +236,8 @@ class BatchPayload:
     matrix: Optional[object] = None
     spec: Optional[Dict[str, object]] = None
     pickled_distribution: Optional[bytes] = None
+    #: the parent tracker's cost model (``None`` -> workers use the default)
+    cost_model: Optional["CostModel"] = None
 
     def build_distribution(self, attach: Optional[Callable[[object], np.ndarray]] = None,
                            cache: Optional[Dict[str, object]] = None):
@@ -249,3 +290,6 @@ class OracleBatchResult:
     wall_time: float
     #: number of queries answered
     n_queries: int
+    #: non-scalar outputs some kinds carry alongside ``values`` — e.g. the
+    #: re-orthonormalized ``"bases"`` of a ``projection_step`` round
+    artifacts: Dict[str, object] = field(default_factory=dict)

@@ -21,11 +21,13 @@ from repro.engine.backends import (
     ThreadPoolBackend,
     VectorizedBackend,
 )
+from repro.engine.planner import AutoBackend
 
 BackendLike = Union[str, ExecutionBackend, None]
 
 #: registry of constructible backend names
 BACKEND_REGISTRY = {
+    "auto": AutoBackend,
     "serial": SerialBackend,
     "vectorized": VectorizedBackend,
     "threads": ThreadPoolBackend,
@@ -34,7 +36,6 @@ BACKEND_REGISTRY = {
     "processpool": ProcessPoolBackend,
 }
 
-_default_backend: ExecutionBackend = VectorizedBackend()
 _context_backend: ContextVar[Optional[ExecutionBackend]] = ContextVar(
     "repro_current_backend", default=None
 )
@@ -72,13 +73,23 @@ def _construct(spec: BackendLike, **options) -> ExecutionBackend:
     raise TypeError(f"backend must be a name or ExecutionBackend, got {type(spec).__name__}")
 
 
-def configure_backend(backend: BackendLike = "vectorized", **options) -> ExecutionBackend:
+#: the process-wide default: the cost-aware planner routes every round to
+#: the cheapest estimated backend (see :mod:`repro.engine.planner`); forcing
+#: a specific backend via ``configure_backend``/``use_backend``/``backend=``
+#: is always honored and bypasses the planner entirely.  Built through the
+#: name memo so ``resolve_backend("auto")`` and the default share ONE
+#: planner (one overhead cache, one probe run, one decision log).
+_default_backend: ExecutionBackend = _construct("auto")
+
+
+def configure_backend(backend: BackendLike = "auto", **options) -> ExecutionBackend:
     """Set the process-wide default execution backend.
 
-    ``backend`` is a name (``"serial"``, ``"vectorized"``, ``"threads"``) or a
-    ready :class:`ExecutionBackend` instance; ``options`` are forwarded to the
-    named backend's constructor (e.g. ``max_workers`` for ``"threads"``).
-    Returns the installed backend.
+    ``backend`` is a name (``"auto"`` — the cost-aware planner and initial
+    default — ``"serial"``, ``"vectorized"``, ``"threads"``, ``"process"``)
+    or a ready :class:`ExecutionBackend` instance; ``options`` are forwarded
+    to the named backend's constructor (e.g. ``max_workers`` for
+    ``"threads"``).  Returns the installed backend.
     """
     global _default_backend
     _default_backend = _construct(backend, **options)

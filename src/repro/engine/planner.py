@@ -1,0 +1,335 @@
+"""Cost-aware execution planning: ``backend="auto"``.
+
+The paper states its speedup in a work/depth cost model, and the repo tracks
+that model (:mod:`repro.pram`) — but until this module, the *engine* ignored
+it when deciding how to run a round: callers hand-picked
+``serial``/``vectorized``/``threads``/``process``, and small rounds dispatched
+to ``process`` lost to the ~ms IPC round trip (a PR 3 discovery).  This is
+the same preprocessing-vs-per-sample cost tradeoff that motivates the
+amortized samplers in PAPERS.md, applied one level down: *per adaptive
+round*, pay a backend's dispatch overhead only when the round's compute
+dwarfs it.
+
+:class:`RoundPlanner` unifies the two cost vocabularies:
+
+* the PRAM :class:`~repro.pram.cost.CostModel` prices a batch in abstract
+  work units (``queries x matrix_order^omega``);
+* :func:`~repro.pram.cost.calibrate_wall_clock` converts units to seconds
+  with per-process microbenchmarks (a LAPACK lane and an interpreted-Python
+  lane — the distinction that decides whether thread fan-out helps at all);
+* each :class:`~repro.engine.backends.ExecutionBackend` reports a
+  :class:`~repro.engine.backends.BackendTraits` descriptor (parallel lanes,
+  whether the Python lane escapes the GIL, dispatch overhead), whose
+  overhead field the planner replaces with a measured probe — executing a
+  trivial two-query batch through the backend — the first time the backend
+  is seriously considered (probing the process backend spins up its worker
+  pool, so the probe is deferred until a batch is plausibly heavy enough to
+  want it).
+
+For every :class:`~repro.engine.batch.OracleBatch` the planner combines the
+distribution's :meth:`~repro.distributions.base.SubsetDistribution.oracle_cost_hint`
+with the calibrated model, estimates wall-clock on every eligible backend,
+and picks the cheapest.  ``marginal_vector`` and ``projection_step`` rounds
+are *fixed-route* kinds (one numerical route on every backend), so the
+planner sends them to the zero-overhead in-process backend unconditionally.
+
+Backend choice never changes *what* a round computes, so ``backend="auto"``
+— the process-wide default installed by :mod:`repro.engine.config` —
+produces byte-identical fixed-seed samples to every forced backend; the
+planner is pure wall-clock engineering, exactly like the backends it
+arbitrates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.backends import BackendTraits, ExecutionBackend
+from repro.engine.batch import OracleBatch, OracleBatchResult
+from repro.pram.cost import (
+    CalibratedCostModel,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    OracleCostHint,
+    calibrated_cost_model,
+)
+from repro.pram.tracker import Tracker
+
+__all__ = ["PlanDecision", "RoundPlanner", "AutoBackend", "probe_dispatch_overhead"]
+
+#: batch kinds the planner arbitrates; the other kinds are fixed-route
+PLANNED_KINDS = ("counting", "joint_marginals", "log_principal_minors")
+
+#: default candidate backends, cheapest-dispatch first (tie-break order)
+DEFAULT_CANDIDATES = ("vectorized", "threads", "process")
+
+#: interpreter overhead prior for one scalar ``counting()`` call (seconds);
+#: only the scalar-loop backends (serial/threads) pay it per query
+_SCALAR_CALL_OVERHEAD_S = 2e-5
+
+#: a pooled backend is only *probed* (which may spin up its pool) once the
+#: estimate built from its traits prior says it would win a batch at least
+#: this expensive (seconds)
+_PROBE_FLOOR_S = 1e-3
+
+
+def probe_dispatch_overhead(backend: ExecutionBackend, repeats: int = 3) -> float:
+    """Measured seconds to round-trip a trivial batch through ``backend``.
+
+    The probe batch is two ``1x1`` principal minors of a tiny matrix: its
+    compute is nanoseconds, so the best-of-``repeats`` wall time is almost
+    purely the backend's dispatch cost (thread-pool handoff; for the process
+    backend, payload publication plus one IPC round trip).  The first call
+    also pays pool spin-up — executing one warm-up batch before timing keeps
+    that out of the measurement.
+    """
+    matrix = np.eye(2)
+    batch = lambda: OracleBatch.log_principal_minors(  # noqa: E731
+        matrix, [(0,), (1,)], label="planner-probe")
+    backend.execute(batch(), tracker=Tracker())  # warm-up (pool spin-up, imports)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        backend.execute(batch(), tracker=Tracker())
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One routing decision (kept in :attr:`RoundPlanner.decisions`)."""
+
+    kind: str
+    label: str
+    queries: int
+    chosen: str
+    #: estimated seconds per candidate backend (empty for fixed-route kinds)
+    estimates: Dict[str, float] = field(default_factory=dict)
+    #: why the batch skipped estimation ("fixed-route", "empty", ...) if it did
+    reason: str = ""
+
+
+class RoundPlanner:
+    """Estimates per-backend wall-clock for a batch and picks the cheapest.
+
+    Parameters
+    ----------
+    cost_model:
+        The PRAM model to extend with wall-clock coefficients; a plain
+        :class:`CostModel` is calibrated on first use (cached per process),
+        a :class:`CalibratedCostModel` is used as-is — tests inject
+        hand-built coefficients this way.
+    candidates:
+        Backend names considered for planned kinds, resolved through the
+        shared name registry so pooled candidates reuse the same executors
+        as explicit ``backend="threads"``/``"process"`` callers.
+    backends:
+        Optional explicit ``name -> ExecutionBackend`` mapping overriding
+        name resolution (tests inject recording stubs here).
+    overheads:
+        Optional pre-seeded ``name -> seconds`` dispatch overheads,
+        bypassing the lazy probes (tests, or operators with known numbers).
+    """
+
+    def __init__(self, cost_model: Optional[CostModel] = None, *,
+                 candidates: Sequence[str] = DEFAULT_CANDIDATES,
+                 backends: Optional[Dict[str, ExecutionBackend]] = None,
+                 overheads: Optional[Dict[str, float]] = None,
+                 record: int = 64):
+        self._cost_model_input = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self._calibrated: Optional[CalibratedCostModel] = (
+            self._cost_model_input if isinstance(self._cost_model_input, CalibratedCostModel)
+            else None)
+        self.candidates = tuple(candidates)
+        self._backends = dict(backends) if backends is not None else None
+        self._overheads: Dict[str, float] = dict(overheads or {})
+        self._lock = threading.Lock()
+        self.decisions: Deque[PlanDecision] = deque(maxlen=record)
+
+    # ------------------------------------------------------------------ #
+    # lazily calibrated pieces
+    # ------------------------------------------------------------------ #
+    @property
+    def cost_model(self) -> CalibratedCostModel:
+        """The wall-clock-calibrated cost model (probes run on first access)."""
+        if self._calibrated is None:
+            with self._lock:
+                if self._calibrated is None:
+                    self._calibrated = calibrated_cost_model(self._cost_model_input)
+        return self._calibrated
+
+    def _backend(self, name: str) -> ExecutionBackend:
+        if self._backends is not None:
+            return self._backends[name]
+        from repro.engine.config import resolve_backend
+
+        return resolve_backend(name)
+
+    def _overhead(self, name: str, traits: BackendTraits, single_lane_s: float) -> float:
+        """Dispatch overhead for ``name``: measured when warranted, prior otherwise.
+
+        Probing a pooled backend spins up its pool, so the probe only runs
+        once the traits-prior estimate says the backend could plausibly win
+        a batch of at least ``_PROBE_FLOOR_S`` single-lane seconds; until
+        then the prior stands in (which can only make the planner *more*
+        conservative about leaving the in-process backend).
+        """
+        cached = self._overheads.get(name)
+        if cached is not None:
+            return cached
+        if traits.dispatch_overhead_s == 0.0:
+            self._overheads[name] = 0.0
+            return 0.0
+        if single_lane_s < max(_PROBE_FLOOR_S, traits.dispatch_overhead_s):
+            return traits.dispatch_overhead_s  # prior; not worth probing yet
+        # Probe WITHOUT holding the planner lock: the first process-backend
+        # probe spins up its worker pool (hundreds of ms), and concurrent
+        # choose() calls — even cheap fixed-route ones that only _record() —
+        # must not stall behind it.  A rare racing duplicate probe costs one
+        # extra trivial batch on the shared pool; setdefault keeps the first
+        # committed measurement authoritative.
+        try:
+            measured = probe_dispatch_overhead(self._backend(name))
+        except Exception:
+            measured = traits.dispatch_overhead_s
+        with self._lock:
+            return self._overheads.setdefault(name, measured)
+
+    # ------------------------------------------------------------------ #
+    # estimation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _hint_for(batch: OracleBatch) -> OracleCostHint:
+        if batch.distribution is not None:
+            return batch.distribution.oracle_cost_hint()
+        # matrix-backed minors: stacked LAPACK over the largest subset order
+        assert batch.matrix is not None
+        order = max((len(s) for s in batch.subsets), default=1)
+        return OracleCostHint(matrix_order=max(order, 1), python_fraction=0.0,
+                              batch_vectorized=True)
+
+    def estimate(self, batch: OracleBatch) -> Dict[str, float]:
+        """Estimated wall-clock seconds per candidate backend for ``batch``."""
+        hint = self._hint_for(batch)
+        model = self.cost_model
+        queries = len(batch.subsets)
+        total_s = model.estimate_batch_seconds(hint, queries)
+        python_s = model.python_seconds(hint, queries)
+        lapack_s = total_s - python_s
+        estimates: Dict[str, float] = {}
+        for name in self.candidates:
+            try:
+                traits = self._backend(name).traits()
+            except Exception:
+                continue  # unknown/unconstructible candidate: skip it
+            lanes = max(1, min(traits.parallelism, queries))
+            if traits.name == "serial" or (traits.scalar_loop and lanes == 1):
+                cost = total_s + queries * _SCALAR_CALL_OVERHEAD_S
+            elif traits.scalar_loop:
+                # thread fan-out: LAPACK overlaps, but the Python lane —
+                # including the per-call interpreter overhead of the scalar
+                # loop — serializes on the GIL, so neither divides by lanes
+                cost = python_s + lapack_s / lanes + queries * _SCALAR_CALL_OVERHEAD_S
+            elif traits.escapes_gil:
+                # worker processes parallelize the GIL-bound share; the
+                # LAPACK share is priced at parity with in-process execution
+                # (workers pin BLAS to one thread each, while the parent's
+                # stacked calls may use a multithreaded BLAS — crediting the
+                # pool a lanes-fold LAPACK speedup would steal LAPACK-bound
+                # rounds that in-process execution serves at least as fast)
+                cost = python_s / lanes + lapack_s
+            else:
+                cost = total_s
+            if not hint.batch_vectorized and not traits.scalar_loop:
+                # the batch oracle is the generic scalar loop anyway: the
+                # "vectorized" backend degenerates to serial per-call costs,
+                # while worker processes run that loop on parallel lanes
+                cost += queries * _SCALAR_CALL_OVERHEAD_S / (
+                    lanes if traits.escapes_gil else 1)
+            single_lane = total_s + (queries * _SCALAR_CALL_OVERHEAD_S
+                                     if traits.scalar_loop else 0.0)
+            cost += self._overhead(name, traits, single_lane)
+            cost += queries * traits.per_query_overhead_s
+            estimates[name] = cost
+        return estimates
+
+    # ------------------------------------------------------------------ #
+    def choose(self, batch: OracleBatch) -> ExecutionBackend:
+        """The cheapest eligible backend for ``batch``.
+
+        Fixed-route kinds and empty batches go straight to the in-process
+        backend; everything else is estimated.  Candidate order breaks ties
+        (``vectorized`` first), so an overhead-free in-process answer is
+        never abandoned for a same-cost pooled one.
+        """
+        fallback = self._backend(self.candidates[0])
+        if batch.kind not in PLANNED_KINDS:
+            self._record(PlanDecision(kind=batch.kind, label=batch.label,
+                                      queries=batch.n_queries,
+                                      chosen=fallback.name, reason="fixed-route"))
+            return fallback
+        if not batch.subsets:
+            self._record(PlanDecision(kind=batch.kind, label=batch.label, queries=0,
+                                      chosen=fallback.name, reason="empty"))
+            return fallback
+        estimates = self.estimate(batch)
+        if not estimates:
+            return fallback
+        chosen = min(estimates, key=lambda name: estimates[name])
+        self._record(PlanDecision(kind=batch.kind, label=batch.label,
+                                  queries=len(batch.subsets), chosen=chosen,
+                                  estimates=estimates))
+        return self._backend(chosen)
+
+    def _record(self, decision: PlanDecision) -> None:
+        with self._lock:
+            self.decisions.append(decision)
+
+    @property
+    def last_decision(self) -> Optional[PlanDecision]:
+        with self._lock:
+            return self.decisions[-1] if self.decisions else None
+
+
+class AutoBackend(ExecutionBackend):
+    """The planner as a backend: every batch runs on the cheapest estimate.
+
+    This is what ``backend="auto"`` (the process-wide default) resolves to.
+    Explicit ``backend=`` arguments bypass it entirely — forcing a backend
+    is always honored — and the chosen inner backend stamps its own name on
+    the :class:`OracleBatchResult`, so reports show where a round actually
+    ran; :attr:`planner` keeps the recent :class:`PlanDecision` log.
+    """
+
+    name = "auto"
+
+    def __init__(self, planner: Optional[RoundPlanner] = None, *,
+                 cost_model: Optional[CostModel] = None,
+                 candidates: Optional[Sequence[str]] = None):
+        if planner is not None and (cost_model is not None or candidates is not None):
+            raise ValueError("pass either a ready planner or its options, not both")
+        self.planner = planner if planner is not None else RoundPlanner(
+            cost_model, candidates=tuple(candidates) if candidates is not None
+            else DEFAULT_CANDIDATES)
+
+    def execute(self, batch: OracleBatch, *, tracker: Optional[Tracker] = None) -> OracleBatchResult:
+        return self.planner.choose(batch).execute(batch, tracker=tracker)
+
+    def traits(self) -> BackendTraits:
+        return BackendTraits(name=self.name)
+
+    # the abstract hooks are never reached — execute() is fully delegated
+    def _counting(self, batch, tracker):  # pragma: no cover
+        raise NotImplementedError
+
+    def _joint_marginals(self, batch, tracker):  # pragma: no cover
+        raise NotImplementedError
+
+    def _log_principal_minors(self, batch, tracker):  # pragma: no cover
+        raise NotImplementedError

@@ -18,7 +18,9 @@ the *depth* claims the experiments reproduce).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -29,6 +31,38 @@ class RoundCharge:
     work: float = 0.0
     machines: float = 0.0
     oracle_calls: int = 0
+
+
+@dataclass(frozen=True)
+class OracleCostHint:
+    """Structural cost facts a distribution reports about its oracle batches.
+
+    The engine's :class:`~repro.engine.planner.RoundPlanner` combines this
+    hint with the PRAM :class:`CostModel` and calibrated wall-clock
+    coefficients to estimate what one batch costs on each execution backend.
+    The hint states *structure*, not seconds — seconds are host-specific and
+    come from calibration.
+
+    Attributes
+    ----------
+    matrix_order:
+        Size of the matrix each query factorizes (the ``n`` fed to
+        :meth:`CostModel.determinant_work`).
+    python_fraction:
+        Fraction of one query's work spent in GIL-bound interpreted Python
+        (ESP recursions, charpoly minor sums, per-subset interpolation
+        grids) rather than inside GIL-releasing LAPACK calls.  ``0`` means
+        pure stacked linear algebra; ``1`` means a pure-Python loop.
+    batch_vectorized:
+        Whether ``counting_batch`` answers the whole round with stacked
+        NumPy calls (``True`` for the structured oracles) or falls back to
+        the generic scalar loop (``False``), in which case the vectorized
+        backend degenerates to the serial one.
+    """
+
+    matrix_order: int
+    python_fraction: float = 0.0
+    batch_vectorized: bool = True
 
 
 @dataclass(frozen=True)
@@ -63,3 +97,149 @@ class CostModel:
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+
+# ---------------------------------------------------------------------- #
+# wall-clock extension: abstract work units -> estimated seconds
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WallClockCoefficients:
+    """Host-specific conversion rates from PRAM work units to seconds.
+
+    ``seconds_per_flop_unit`` prices one unit of :meth:`CostModel`
+    determinant work executed inside LAPACK; ``seconds_per_python_unit``
+    prices the same unit executed as GIL-bound interpreted Python.  Both are
+    measured by :func:`calibrate_wall_clock` (microbenchmarks, once per
+    process) — the absolute values are crude, but routing decisions only
+    need the *ratios* between backends to be roughly right, and those are
+    dominated by the separately measured per-backend dispatch overheads.
+    """
+
+    seconds_per_flop_unit: float = 2e-9
+    seconds_per_python_unit: float = 2e-7
+
+
+@dataclass(frozen=True)
+class CalibratedCostModel(CostModel):
+    """A :class:`CostModel` that can also price work in estimated seconds.
+
+    The PRAM model prices *work* in abstract machine operations — exactly
+    what the depth/work theorems need, and deliberately blind to wall-clock.
+    The execution planner, however, must compare "run this round's Python
+    work in-process" against "pay a process pool's IPC round-trip", which is
+    a *seconds* comparison.  This subclass keeps the PRAM charging schedule
+    untouched (trackers built from it behave identically) and adds the
+    calibrated conversion used only for backend routing.
+    """
+
+    coefficients: WallClockCoefficients = field(default_factory=WallClockCoefficients)
+
+    def _python_work(self, hint: OracleCostHint, queries: int) -> float:
+        """Work units of the batch's GIL-bound (interpreted Python) lane.
+
+        When the batch oracle vectorizes, the interpreted share is the
+        per-query bookkeeping around the stacked LAPACK calls — one order
+        below the determinant work, so it is priced at
+        ``matrix_order^(omega-1)``.  A non-vectorized (generic scalar-loop)
+        oracle keeps its full ``matrix_order^omega`` in the interpreter.
+        """
+        fraction = min(max(hint.python_fraction, 0.0), 1.0)
+        if hint.batch_vectorized:
+            exponent = max(self.determinant_exponent - 1.0, 1.0)
+            unit = float(max(hint.matrix_order, 1)) ** exponent
+        else:
+            unit = self.determinant_work(hint.matrix_order)
+        return queries * unit * fraction
+
+    def estimate_batch_seconds(self, hint: OracleCostHint, queries: int) -> float:
+        """Estimated single-lane seconds to answer ``queries`` oracle queries.
+
+        Splits the batch between the LAPACK lane (the
+        ``(1 - python_fraction)`` share of the PRAM determinant work) and
+        the interpreted-Python lane (see :meth:`_python_work`), pricing each
+        with its calibrated coefficient.
+        """
+        fraction = min(max(hint.python_fraction, 0.0), 1.0)
+        flop_work = self.oracle_query_work(hint.matrix_order, queries) * (1.0 - fraction)
+        return (self._python_work(hint, queries) * self.coefficients.seconds_per_python_unit
+                + flop_work * self.coefficients.seconds_per_flop_unit)
+
+    def python_seconds(self, hint: OracleCostHint, queries: int) -> float:
+        """Estimated seconds of the batch's GIL-bound (Python-lane) share."""
+        return self._python_work(hint, queries) * self.coefficients.seconds_per_python_unit
+
+
+def _probe_flop_seconds_per_unit(model: CostModel, order: int = 48, repeats: int = 3) -> float:
+    """Seconds per determinant-work unit through one LAPACK factorization."""
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((order, order))
+    a = a @ a.T + order * np.eye(order)
+    np.linalg.slogdet(a)  # warm the LAPACK path once
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        np.linalg.slogdet(a)
+        best = min(best, time.perf_counter() - start)
+    return max(best, 1e-9) / model.determinant_work(order)
+
+
+def _probe_python_seconds_per_unit(model: CostModel, order: int = 24, repeats: int = 3) -> float:
+    """Seconds per work unit through an interpreted (GIL-bound) loop.
+
+    The loop mimics the shape of the pure-Python oracle paths (per-element
+    arithmetic over an ``order``-sized recursion) so the coefficient lands in
+    the right decade for ESP tables / charpoly sums / interpolation grids.
+    """
+    best = float("inf")
+    steps = int(model.determinant_work(order))
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0.0
+        for i in range(steps):
+            acc += (i % 7) * 1e-3
+        best = min(best, time.perf_counter() - start)
+    return max(best, 1e-9) / model.determinant_work(order)
+
+
+#: per-process probe cache, keyed by the work exponent the probes were
+#: normalized under — coefficients measured for one schedule are meaningless
+#: for a model with a different ``determinant_exponent``
+_CALIBRATED: dict = {}
+
+
+def calibrate_wall_clock(model: CostModel = DEFAULT_COST_MODEL, *,
+                         refresh: bool = False) -> WallClockCoefficients:
+    """Measure (once per process and work schedule) work-unit → seconds rates.
+
+    The probes cost a few milliseconds and are cached for the process
+    lifetime per ``determinant_exponent``; ``refresh=True`` re-measures
+    (e.g. after pinning BLAS threads).  Used by
+    :func:`calibrated_cost_model` and the engine's
+    :class:`~repro.engine.planner.RoundPlanner`.
+    """
+    key = float(model.determinant_exponent)
+    if refresh or key not in _CALIBRATED:
+        _CALIBRATED[key] = WallClockCoefficients(
+            seconds_per_flop_unit=_probe_flop_seconds_per_unit(model),
+            seconds_per_python_unit=_probe_python_seconds_per_unit(model),
+        )
+    return _CALIBRATED[key]
+
+
+def calibrated_cost_model(model: CostModel = DEFAULT_COST_MODEL) -> CalibratedCostModel:
+    """``model`` extended with this host's calibrated wall-clock coefficients.
+
+    Passing an already-:class:`CalibratedCostModel` returns it unchanged, so
+    callers can thread a hand-built model (e.g. in tests) through the
+    planner without it being re-calibrated.
+    """
+    if isinstance(model, CalibratedCostModel):
+        return model
+    return CalibratedCostModel(
+        determinant_exponent=model.determinant_exponent,
+        determinant_depth=model.determinant_depth,
+        oracle_depth=model.oracle_depth,
+        coefficients=calibrate_wall_clock(model),
+    )

@@ -48,16 +48,24 @@ __all__ = ["CacheStats", "KernelFactorization", "FactorizationCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`FactorizationCache`."""
+    """Hit/miss/eviction counters of one :class:`FactorizationCache`.
+
+    ``evictions`` counts entries dropped by the LRU *entry-count* bound;
+    ``size_evictions`` counts entries dropped by the *byte-budget* bound
+    (``max_bytes``) — the two are tracked separately so operators can tell
+    which limit is actually binding.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    size_evictions: int = 0
     invalidations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "invalidations": self.invalidations}
+                "evictions": self.evictions, "size_evictions": self.size_evictions,
+                "invalidations": self.invalidations}
 
 
 class KernelFactorization:
@@ -224,6 +232,41 @@ class KernelFactorization:
         return self._get(("partition_z", parts_key, counts_key), compute)
 
     # ------------------------------------------------------------------ #
+    def warm(self, kind: str = "symmetric",
+             parts: Optional[Sequence[Sequence[int]]] = None,
+             counts: Optional[Sequence[int]] = None) -> "KernelFactorization":
+        """Eagerly materialize every artifact the ``kind``'s samplers use.
+
+        The cache is lazy by default — each artifact computes on first
+        access, i.e. during the first draw that needs it.  Warm-up moves
+        that cost to registration time (``KernelRegistry.register(...,
+        warm=True)`` / :meth:`SamplerSession.warm`), so a serving process
+        can pay preprocessing before taking traffic instead of inside the
+        first request's latency.  Values are identical either way — warm-up
+        only calls the same lazy getters.
+        """
+        if kind == "symmetric":
+            self.eigh_pair
+            self.eigenvalues
+            self.esp_table
+            self.size_distribution
+            self.factor
+            self.factor_gram
+            self.kernel
+            self.det_identity_plus
+        elif kind == "nonsymmetric":
+            self.kernel
+            self.det_identity_plus
+            self.minor_sums
+            self.nonsym_size_distribution
+        elif kind == "partition":
+            if parts is None or counts is None:
+                raise ValueError("warming a partition kernel requires parts= and counts=")
+            self.partition_normalizer(parts, counts)
+        else:
+            raise ValueError(f"unknown kernel kind {kind!r}")
+        return self
+
     @property
     def nbytes(self) -> int:
         """Bytes held by materialized artifacts (excluding the matrix itself)."""
@@ -249,15 +292,29 @@ class FactorizationCache:
     ``capacity`` bounds the number of cached kernels (LRU eviction);
     ``capacity=0`` disables storage entirely — every lookup returns a fresh
     factorization, which is the "cache off" mode used to verify that caching
-    never changes samples.
+    never changes samples.  ``max_bytes`` additionally bounds the
+    *approximate* bytes of materialized artifacts (summed ndarray
+    ``nbytes``): because artifacts materialize lazily, the budget is
+    enforced at every lookup rather than at write time — least-recently-used
+    entries are dropped until the rest fit, always keeping at least the
+    entry being returned.  Entry-count and byte-budget evictions are counted
+    separately (see :class:`CacheStats` / :meth:`cache_info`).
     """
 
-    def __init__(self, capacity: int = 32):
+    def __init__(self, capacity: int = 32, *, max_bytes: Optional[int] = None):
         if capacity < 0:
             raise ValueError(f"capacity must be nonnegative, got {capacity}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be nonnegative, got {max_bytes}")
         self.capacity = int(capacity)
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, KernelFactorization]" = OrderedDict()
+        #: running artifact-byte total: one entry's nbytes is re-read per
+        #: lookup (the touched entry is the only one that can have grown),
+        #: so byte-budget enforcement never rescans the whole cache
+        self._sizes: Dict[str, int] = {}
+        self._total_bytes = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -271,15 +328,61 @@ class FactorizationCache:
             if entry is not None:
                 self.stats.hits += 1
                 self._entries.move_to_end(key)
+                self._note_size_locked(key, entry)
+                self._enforce_byte_budget_locked()
                 return entry
             self.stats.misses += 1
             entry = KernelFactorization(matrix, fingerprint=key)
             if self.capacity > 0:
                 self._entries[key] = entry
+                self._note_size_locked(key, entry)
                 while len(self._entries) > self.capacity:
-                    self._entries.popitem(last=False)
+                    self._drop_lru_locked()
                     self.stats.evictions += 1
+                self._enforce_byte_budget_locked()
             return entry
+
+    def _note_size_locked(self, key: str, entry: KernelFactorization) -> None:
+        """Refresh the running byte total with the touched entry's size."""
+        if self.max_bytes is None:
+            return
+        nbytes = entry.nbytes
+        self._total_bytes += nbytes - self._sizes.get(key, 0)
+        self._sizes[key] = nbytes
+
+    def _drop_lru_locked(self) -> str:
+        key, _ = self._entries.popitem(last=False)
+        self._total_bytes -= self._sizes.pop(key, 0)
+        return key
+
+    def _enforce_byte_budget_locked(self) -> None:
+        """Evict LRU entries until materialized artifacts fit ``max_bytes``.
+
+        The most-recently-used entry always survives — a single kernel whose
+        artifacts exceed the whole budget still has to serve its session;
+        the budget then simply prevents a *second* kernel from being
+        retained alongside it.  Thanks to the running total this is O(1)
+        per lookup plus O(1) per actual eviction — no full-cache rescans on
+        the serving hot path.
+        """
+        if self.max_bytes is None:
+            return
+        while self._total_bytes > self.max_bytes and len(self._entries) > 1:
+            self._drop_lru_locked()
+            self.stats.size_evictions += 1
+
+    def cache_info(self) -> Dict[str, object]:
+        """One-call diagnostic snapshot: bounds, occupancy, and counters."""
+        with self._lock:
+            entries = list(self._entries.values())
+            info: Dict[str, object] = {
+                "entries": len(entries),
+                "capacity": self.capacity,
+                "max_bytes": self.max_bytes,
+                "nbytes": sum(entry.nbytes for entry in entries),
+            }
+            info.update(self.stats.as_dict())
+            return info
 
     def invalidate(self, target: Union[str, np.ndarray]) -> bool:
         """Drop the entry for a fingerprint or matrix; True if one existed."""
@@ -288,6 +391,7 @@ class FactorizationCache:
         with self._lock:
             if key in self._entries:
                 del self._entries[key]
+                self._total_bytes -= self._sizes.pop(key, 0)
                 self.stats.invalidations += 1
                 return True
             return False
@@ -297,6 +401,8 @@ class FactorizationCache:
         with self._lock:
             self.stats.invalidations += len(self._entries)
             self._entries.clear()
+            self._sizes.clear()
+            self._total_bytes = 0
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:

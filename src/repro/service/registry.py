@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -92,7 +93,7 @@ class KernelRegistry:
                  parts: Optional[Sequence[Sequence[int]]] = None,
                  counts: Optional[Sequence[int]] = None,
                  validate: bool = True, overwrite: bool = False,
-                 ephemeral: bool = False, pin: bool = False,
+                 ephemeral: bool = False, pin: bool = False, warm: bool = False,
                  metadata: Optional[Dict[str, object]] = None) -> RegisteredKernel:
         """Register ``matrix`` under ``name``; validation happens here, once.
 
@@ -106,7 +107,10 @@ class KernelRegistry:
         additionally takes one session reference *atomically with the
         registration* — without it, an ``anonymous_ttl=0`` sweep racing
         between register and a separate :meth:`acquire` could reap the
-        brand-new entry.
+        brand-new entry.  ``warm=True`` precomputes the kind's factorization
+        artifacts (:meth:`~repro.service.cache.KernelFactorization.warm`)
+        before returning, so the first draw is already warm; the computation
+        runs outside the registry lock.
         """
         if kind not in KERNEL_KINDS:
             raise ValueError(f"unknown kernel kind {kind!r}; expected one of {KERNEL_KINDS}")
@@ -133,9 +137,21 @@ class KernelRegistry:
         a.flags.writeable = False
         fingerprint = array_fingerprint(a, extra=(kind, parts_key, counts_key))
 
+        if warm and self.cache.capacity == 0:
+            # a capacity-0 cache stores nothing: warming would compute the
+            # full artifact set onto a throwaway object — loudly skip
+            # instead of silently wasting the eigendecompositions
+            warnings.warn(
+                f"register(warm=True) skipped for {name!r}: the registry's "
+                "factorization cache has capacity=0 (storage disabled), so "
+                "warmed artifacts could not be retained",
+                RuntimeWarning, stacklevel=2)
+            warm = False
+
         with self._lock:
             self._sweep_locked()
             existing = self._entries.get(name)
+            entry = None
             if existing is not None:
                 if existing.fingerprint == fingerprint:
                     if ephemeral:
@@ -144,25 +160,61 @@ class KernelRegistry:
                             state.sessions += 1
                     else:
                         self._ephemeral.pop(name, None)  # promote to permanent
-                    return existing
-                if not overwrite:
+                    entry = existing
+                elif not overwrite:
                     raise ValueError(
                         f"kernel {name!r} is already registered with different content; "
                         "pass overwrite=True to replace it"
                     )
-                self._invalidate_unshared_locked(existing.fingerprint, excluding=name)
+                else:
+                    self._invalidate_unshared_locked(existing.fingerprint, excluding=name)
 
-            entry = RegisteredKernel(
-                name=name, kind=kind, matrix=a, fingerprint=fingerprint,
-                parts=parts_key, counts=counts_key, metadata=dict(metadata or {}),
-            )
-            self._entries[name] = entry
-            if ephemeral:
-                self._ephemeral[name] = _EphemeralState(sessions=1 if pin else 0,
-                                                        idle_since=self._clock())
-            else:
-                self._ephemeral.pop(name, None)
-            return entry
+            if entry is None:
+                entry = RegisteredKernel(
+                    name=name, kind=kind, matrix=a, fingerprint=fingerprint,
+                    parts=parts_key, counts=counts_key, metadata=dict(metadata or {}),
+                )
+                self._entries[name] = entry
+                if ephemeral:
+                    self._ephemeral[name] = _EphemeralState(sessions=1 if pin else 0,
+                                                            idle_since=self._clock())
+                else:
+                    self._ephemeral.pop(name, None)
+            warm_state = None
+            if warm:
+                state = self._ephemeral.get(name)
+                if state is not None:
+                    # hold a temporary session pin across the warm-up so a
+                    # TTL sweep cannot reap the brand-new ephemeral entry
+                    # (and invalidate its cache slot) mid-eigendecomposition
+                    state.sessions += 1
+                    warm_state = state
+        if warm:
+            # outside the registry lock: eigendecompositions must not block
+            # concurrent registry traffic.  The factorization is single-flight
+            # per artifact, so racing warmers do not duplicate work.
+            try:
+                self.cache.factorization(entry.matrix, fingerprint=entry.fingerprint).warm(
+                    entry.kind, entry.parts, entry.counts)
+            finally:
+                with self._lock:
+                    # drop the temporary pin only if it still belongs to OUR
+                    # state object — a concurrent overwrite may have replaced
+                    # the ephemeral state, and decrementing the replacement
+                    # would unpin another session's live entry
+                    if warm_state is not None and self._ephemeral.get(name) is warm_state:
+                        warm_state.sessions = max(warm_state.sessions - 1, 0)
+                        if warm_state.sessions == 0:
+                            warm_state.idle_since = self._clock()
+                        self._sweep_locked()
+                    if self._entries.get(name) is not entry:
+                        # a concurrent unregister/overwrite (or the sweep
+                        # just above) invalidated this fingerprint while we
+                        # warmed: do not leave a stale fully-materialized
+                        # cache entry behind (unless another registration
+                        # still shares the content)
+                        self._invalidate_unshared_locked(entry.fingerprint)
+        return entry
 
     def unregister(self, name: str) -> bool:
         """Remove ``name``; its cached factorization is invalidated unless

@@ -8,9 +8,12 @@ batch per request, the :class:`RoundScheduler` runs each request on its own
 thread behind a :class:`_FusingBackend` proxy that parks every submitted
 batch at a rendezvous; once all live requests are parked, the compatible
 batches are **fused** (same kind, same distribution object → subsets
-concatenated; identical marginal-vector queries → answered once and shared)
-and executed as a single batch through the real execution backend, then
-split back per request.
+concatenated; identical marginal-vector queries → answered once and shared;
+same-shape HKPV ``projection_step`` rounds → bases stacked into one batched
+QR) and executed as a single batch through the real execution backend, then
+split back per request.  Spectral (HKPV) requests are submitted with
+``submit(..., method="spectral")``: concurrent same-kernel requests run
+phase 2 in lockstep, so every step fuses.
 
 The scheduler's backend may be any engine backend, including
 ``backend="process"``: fused batches then ship through the process backend's
@@ -56,6 +59,7 @@ class SampleTicket:
     index: int
     k: Optional[int]
     seed: SeedLike
+    method: str = "parallel"
     kwargs: Dict[str, object] = field(default_factory=dict)
     result: Optional[SampleResult] = None
     error: Optional[BaseException] = None
@@ -140,12 +144,18 @@ class _FusionCoordinator:
 
         ``marginal_vector`` additionally keys on ``given`` — equal keys mean
         the *identical* query, answered once and shared by every member.
+        ``projection_step`` keys on the basis *shape* (plus whether the step
+        eliminates an element): every member has its own basis, and
+        same-shape steps — concurrent same-kernel HKPV requests run phase 2
+        in lockstep — stack into one batched QR round.
         """
         groups: Dict[tuple, List[_PendingExec]] = {}
         for entry in entries:
             b = entry.batch
             if b.kind == "marginal_vector":
                 key = (b.kind, id(b.distribution), b.given)
+            elif b.kind == "projection_step":
+                key = (b.kind, b.matrix.shape, bool(b.given))
             elif b.kind == "log_principal_minors":
                 key = (b.kind, id(b.matrix))
             else:
@@ -156,6 +166,9 @@ class _FusionCoordinator:
     def _execute_group(self, group: List[_PendingExec]) -> None:
         first = group[0].batch
         start = time.perf_counter()
+        if first.kind == "projection_step" and len(group) > 1:
+            self._execute_projection_group(group)
+            return
         if first.kind == "marginal_vector" or len(group) == 1:
             # identical query (or nothing to merge): one execution, shared
             shared = self._inner.execute(first, tracker=self._scratch)
@@ -165,7 +178,8 @@ class _FusionCoordinator:
                 self._charge(member)
                 member.result = OracleBatchResult(
                     values=shared.values.copy(), backend=f"fused({self._inner.name})",
-                    wall_time=elapsed, n_queries=member.batch.n_queries)
+                    wall_time=elapsed, n_queries=member.batch.n_queries,
+                    artifacts=dict(shared.artifacts))
             return
         # concatenate subsets into one batch; split the stacked answer back
         offsets = [0]
@@ -185,6 +199,37 @@ class _FusionCoordinator:
                 values=np.asarray(fused.values[lo:hi]).copy(),
                 backend=f"fused({self._inner.name})",
                 wall_time=elapsed, n_queries=hi - lo)
+
+    def _execute_projection_group(self, group: List[_PendingExec]) -> None:
+        """Stack same-shape HKPV steps into one batched projection round.
+
+        Every member contributes its own ``(n, m)`` basis (and eliminated
+        element, when the step has one); the stacked ``(G, n, m)`` batch
+        runs the identical per-slice numerics
+        (:func:`repro.linalg.batch.hkpv_projection_step` is gufunc-only), so
+        each request's weights — and therefore its fixed-seed sample — match
+        unfused execution bitwise, while ``G`` small QR factorizations
+        collapse into one batched LAPACK round.
+        """
+        first = group[0].batch
+        start = time.perf_counter()
+        stacked = np.stack([member.batch.matrix for member in group])
+        eliminate = (tuple(member.batch.given[0] for member in group)
+                     if first.given else None)
+        merged = OracleBatch.projection_step(stacked, eliminate=eliminate,
+                                             label=f"fused-{first.label}")
+        fused = self._inner.execute(merged, tracker=self._scratch)
+        self.executed_batches += 1
+        elapsed = time.perf_counter() - start
+        rows = first.matrix.shape[0]
+        bases = fused.artifacts["bases"]
+        for position, member in enumerate(group):
+            self._charge(member)
+            member.result = OracleBatchResult(
+                values=np.asarray(fused.values[position * rows:(position + 1) * rows]).copy(),
+                backend=f"fused({self._inner.name})",
+                wall_time=elapsed, n_queries=rows,
+                artifacts={"bases": [bases[position]]})
 
     @staticmethod
     def _charge(member: _PendingExec) -> None:
@@ -251,26 +296,37 @@ class RoundScheduler:
 
     # ------------------------------------------------------------------ #
     def submit(self, k: Optional[int] = None, *, seed: SeedLike = None,
-               **kwargs) -> SampleTicket:
+               method: str = "parallel", **kwargs) -> SampleTicket:
         """Queue one sample request; returns its ticket.
 
-        ``kwargs`` are forwarded to ``session.sample()`` (e.g. ``config=``,
-        ``delta=``); ``method`` and ``backend`` are owned by the scheduler —
-        fused requests always run the parallel sampler on the scheduler's
-        backend — and are rejected here rather than failing at drain time.
+        ``method`` selects the sampler family: ``"parallel"`` (the paper's
+        batched samplers; the default) or ``"spectral"`` (the HKPV sampler,
+        symmetric kernels only) — spectral requests fuse too, their lockstep
+        phase-2 projection rounds stacking into single batched QR rounds
+        across requests sharing one eigenbasis.  ``kwargs`` are forwarded to
+        ``session.sample()`` (e.g. ``config=``, ``delta=``); ``backend`` is
+        owned by the scheduler (set ``backend=`` on the scheduler itself)
+        and is rejected here rather than failing at drain time.
         """
-        reserved = {"method", "backend"} & set(kwargs)
-        if reserved:
+        if "backend" in kwargs:
             raise TypeError(
-                f"submit() does not accept {sorted(reserved)}: the scheduler drives "
-                "method='parallel' on its own backend (set backend= on the scheduler)"
+                "submit() does not accept ['backend']: the scheduler executes fused "
+                "rounds on its own backend (set backend= on the scheduler)"
+            )
+        if method not in ("parallel", "spectral"):
+            raise ValueError(f"unknown sampling method {method!r}")
+        if method == "spectral" and self.session.entry.kind != "symmetric":
+            raise ValueError(
+                f"method='spectral' requires a symmetric kernel, "
+                f"got kind={self.session.entry.kind!r}"
             )
         with self._lock:
             index = self._submitted
             self._submitted += 1
             if seed is None:
                 seed = substream(self._root_seed, index)
-            ticket = SampleTicket(index=index, k=k, seed=seed, kwargs=dict(kwargs))
+            ticket = SampleTicket(index=index, k=k, seed=seed, method=method,
+                                  kwargs=dict(kwargs))
             self._queued.append(ticket)
             return ticket
 
@@ -327,7 +383,7 @@ class RoundScheduler:
         try:
             proxy = _FusingBackend(coordinator)
             ticket.result = self.session.sample(
-                ticket.k, seed=ticket.seed, method="parallel", backend=proxy,
+                ticket.k, seed=ticket.seed, method=ticket.method, backend=proxy,
                 **ticket.kwargs)
         except BaseException as exc:
             ticket.error = exc

@@ -115,6 +115,28 @@ class SamplerSession:
         """The kernel's cached (or, on a cold cache, freshly computed) artifacts."""
         return self.cache.factorization(self.entry.matrix, fingerprint=self.entry.fingerprint)
 
+    def warm(self) -> "SamplerSession":
+        """Precompute every factorization artifact this kernel's samplers use.
+
+        Moves the lazy per-artifact preprocessing (eigendecompositions, PSD
+        factors, ESP tables, minor sums, partition normalizers) out of the
+        first request's latency; see
+        :meth:`~repro.service.cache.KernelFactorization.warm`.  Returns the
+        session for chaining: ``repro.serve(L).warm()``.
+        """
+        self._check_open()
+        if self.cache.capacity == 0:
+            import warnings
+
+            warnings.warn(
+                f"warm() skipped for session on {self.entry.name!r}: the "
+                "factorization cache has capacity=0 (storage disabled), so "
+                "warmed artifacts could not be retained",
+                RuntimeWarning, stacklevel=2)
+            return self
+        self.factorization.warm(self.entry.kind, self.entry.parts, self.entry.counts)
+        return self
+
     def distribution(self, k: Optional[int] = None) -> SubsetDistribution:
         """The (cached) distribution object serving cardinality ``k``.
 
@@ -172,7 +194,7 @@ class SamplerSession:
         self._check_open()
         method = self._resolve_method(method)
         if method == "spectral":
-            result = self._sample_spectral(k, seed, tracker)
+            result = self._sample_spectral(k, seed, tracker, backend)
         else:
             result = self._sample_parallel(k, seed, tracker, backend, delta, config)
         with self._lock:
@@ -191,15 +213,18 @@ class SamplerSession:
 
     # ------------------------------------------------------------------ #
     def _sample_spectral(self, k: Optional[int], seed: SeedLike,
-                         tracker: Optional[Tracker]) -> SampleResult:
+                         tracker: Optional[Tracker],
+                         backend: BackendLike = None) -> SampleResult:
         eigh = self.factorization.eigh_pair
+        backend = backend if backend is not None else self.backend
         trk = tracker if tracker is not None else Tracker()
         with use_tracker(trk):
             if k is None:
-                subset = sample_dpp_spectral(self.entry.matrix, seed, validate=False, eigh=eigh)
+                subset = sample_dpp_spectral(self.entry.matrix, seed, validate=False,
+                                             eigh=eigh, backend=backend)
             else:
                 subset = sample_kdpp_spectral(self.entry.matrix, int(k), seed,
-                                              validate=False, eigh=eigh)
+                                              validate=False, eigh=eigh, backend=backend)
         return SampleResult(subset=subset, report=SamplerReport.from_tracker(trk))
 
     def _sample_parallel(self, k: Optional[int], seed: SeedLike,

@@ -1,0 +1,386 @@
+"""Tests for the cost-aware execution planner (``backend="auto"``).
+
+Covers the ISSUE-4 routing contract: small rounds stay on the in-process
+vectorized backend, large pure-Python rounds route to the process backend,
+explicit ``backend=`` choices are always honored, fixed-seed samples are
+identical under ``auto`` and every forced backend (including the spectral
+sampler now routed through the engine), and the parent cost model ships to
+process workers for exact work parity.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributions.generic import ExplicitDistribution
+from repro.dpp.partition import PartitionDPP
+from repro.dpp.spectral import sample_dpp_spectral, sample_kdpp_spectral
+from repro.dpp.symmetric import SymmetricKDPP
+from repro.engine import (
+    AutoBackend,
+    BackendTraits,
+    OracleBatch,
+    ProcessPoolBackend,
+    RoundPlanner,
+    SerialBackend,
+    ThreadPoolBackend,
+    VectorizedBackend,
+    resolve_backend,
+    shared_memory_available,
+    use_backend,
+)
+from repro.engine.backends import _pin_worker_blas_threads, _WORKER_BLAS_ENV_VARS
+from repro.engine.planner import PLANNED_KINDS
+from repro.core.symmetric import sample_symmetric_kdpp_parallel
+from repro.core.partition import sample_partition_dpp_parallel
+from repro.pram.cost import (
+    CalibratedCostModel,
+    CostModel,
+    OracleCostHint,
+    WallClockCoefficients,
+    calibrate_wall_clock,
+    calibrated_cost_model,
+)
+from repro.pram.tracker import Tracker, use_tracker
+from repro.workloads import random_psd_ensemble
+
+pytestmark = pytest.mark.filterwarnings("ignore::RuntimeWarning")
+
+
+# ---------------------------------------------------------------------- #
+# traits and the calibrated cost model
+# ---------------------------------------------------------------------- #
+class TestTraitsAndCalibration:
+    def test_backend_traits_shapes(self):
+        cores = os.cpu_count() or 1
+        vec = VectorizedBackend().traits()
+        assert vec.dispatch_overhead_s == 0.0 and not vec.scalar_loop
+        ser = SerialBackend().traits()
+        assert ser.scalar_loop and ser.parallelism == 1
+        thr = ThreadPoolBackend(max_workers=3).traits()
+        assert thr.scalar_loop and not thr.escapes_gil
+        assert thr.parallelism == min(3, cores)  # effective lanes are host-capped
+        proc = ProcessPoolBackend(max_workers=2).traits()
+        assert proc.escapes_gil and proc.parallelism == min(2, cores)
+        assert proc.dispatch_overhead_s > thr.dispatch_overhead_s
+
+    def test_calibration_cached_per_process(self):
+        first = calibrate_wall_clock()
+        second = calibrate_wall_clock()
+        assert first is second
+        assert first.seconds_per_flop_unit > 0
+        # interpreted python is far slower per work unit than LAPACK
+        assert first.seconds_per_python_unit > first.seconds_per_flop_unit
+
+    def test_calibrated_model_preserves_pram_schedule(self):
+        base = CostModel(determinant_exponent=2.5)
+        model = calibrated_cost_model(base)
+        assert isinstance(model, CalibratedCostModel)
+        assert model.determinant_work(10) == base.determinant_work(10)
+        # already-calibrated models pass through untouched
+        assert calibrated_cost_model(model) is model
+
+    def test_estimate_batch_seconds_splits_lanes(self):
+        model = CalibratedCostModel(coefficients=WallClockCoefficients(
+            seconds_per_flop_unit=1e-9, seconds_per_python_unit=1e-6))
+        lapack = OracleCostHint(matrix_order=20, python_fraction=0.0)
+        scalar_python = OracleCostHint(matrix_order=20, python_fraction=1.0,
+                                       batch_vectorized=False)
+        # a fully interpreted scalar loop prices the full n^omega work at the
+        # (1000x dearer) python coefficient
+        assert model.estimate_batch_seconds(scalar_python, 10) == pytest.approx(
+            1000 * model.estimate_batch_seconds(lapack, 10))
+        assert model.python_seconds(lapack, 10) == 0.0
+        assert model.python_seconds(scalar_python, 10) == pytest.approx(
+            model.estimate_batch_seconds(scalar_python, 10))
+        # a vectorized oracle's interpreted share sits one order below the
+        # determinant work (bookkeeping around stacked LAPACK calls)
+        vector_python = OracleCostHint(matrix_order=20, python_fraction=1.0)
+        assert model.python_seconds(vector_python, 10) == pytest.approx(
+            model.python_seconds(scalar_python, 10) / 20)
+
+
+# ---------------------------------------------------------------------- #
+# planner routing decisions
+# ---------------------------------------------------------------------- #
+class _FakeThreads(VectorizedBackend):
+    """Thread-shaped traits with in-process execution (host-independent tests)."""
+
+    name = "threads"
+
+    def traits(self):
+        return BackendTraits(name=self.name, parallelism=4, scalar_loop=True,
+                             dispatch_overhead_s=5e-4, per_query_overhead_s=1e-5)
+
+
+class _FakeProcess(VectorizedBackend):
+    """Process-shaped traits with in-process execution (no pools in tests)."""
+
+    name = "process"
+
+    def traits(self):
+        return BackendTraits(name=self.name, parallelism=4, escapes_gil=True,
+                             dispatch_overhead_s=2e-3, per_query_overhead_s=5e-6)
+
+
+def _make_planner(**overrides):
+    """A planner with deterministic coefficients, stubbed 4-lane pooled
+    backends, and pre-seeded overheads — no probes run, no pools spin up,
+    and decisions depend only on the math, not the host's core count."""
+    model = CalibratedCostModel(coefficients=WallClockCoefficients(
+        seconds_per_flop_unit=1e-9, seconds_per_python_unit=1e-6))
+    options = dict(
+        backends={
+            "vectorized": VectorizedBackend(),
+            "threads": _FakeThreads(),
+            "process": _FakeProcess(),
+        },
+        overheads={"vectorized": 0.0, "threads": 5e-4, "process": 2e-3},
+    )
+    options.update(overrides)
+    return RoundPlanner(model, **options)
+
+
+@pytest.fixture(scope="module")
+def small_kdpp():
+    return SymmetricKDPP(random_psd_ensemble(12, seed=0), 4)
+
+
+@pytest.fixture(scope="module")
+def partition_dpp():
+    L = random_psd_ensemble(30, rank=10, seed=1)
+    return PartitionDPP(L, [list(range(15)), list(range(15, 30))], [3, 2])
+
+
+class TestPlannerRouting:
+    def test_small_round_stays_vectorized(self, small_kdpp):
+        planner = _make_planner()
+        batch = OracleBatch.counting(small_kdpp, [(0,), (1,), (2, 3)])
+        assert planner.choose(batch).name == "vectorized"
+        decision = planner.last_decision
+        assert decision.chosen == "vectorized"
+        assert set(decision.estimates) == {"vectorized", "threads", "process"}
+
+    def test_large_python_bound_round_goes_to_process(self, partition_dpp):
+        planner = _make_planner()
+        subsets = [(i % partition_dpp.n,) for i in range(400)]
+        batch = OracleBatch.counting(partition_dpp, subsets)
+        assert planner.choose(batch).name == "process"
+        estimates = planner.last_decision.estimates
+        assert estimates["process"] < estimates["vectorized"]
+
+    def test_large_lapack_round_prefers_in_process(self, small_kdpp):
+        # plenty of queries, but all LAPACK-bound on a tiny kernel: the
+        # process pool's IPC overhead cannot pay for itself
+        planner = _make_planner()
+        batch = OracleBatch.counting(small_kdpp, [(0,), (1,)] * 50)
+        assert planner.choose(batch).name == "vectorized"
+
+    def test_fixed_route_kinds_skip_estimation(self, small_kdpp):
+        planner = _make_planner()
+        marginal = OracleBatch.marginal_vector(small_kdpp)
+        assert planner.choose(marginal).name == "vectorized"
+        assert planner.last_decision.reason == "fixed-route"
+        projection = OracleBatch.projection_step(np.eye(6)[:, :3])
+        assert planner.choose(projection).name == "vectorized"
+        assert planner.last_decision.reason == "fixed-route"
+        assert projection.kind not in PLANNED_KINDS
+
+    def test_empty_batch_short_circuits(self, small_kdpp):
+        planner = _make_planner()
+        batch = OracleBatch.counting(small_kdpp, [])
+        assert planner.choose(batch).name == "vectorized"
+        assert planner.last_decision.reason == "empty"
+
+    def test_generic_distribution_hint_is_python_bound(self):
+        table = {(0, 1): 1.0, (0, 2): 2.0, (1, 2): 0.5}
+        dist = ExplicitDistribution(3, table, cardinality=2)
+        hint = dist.oracle_cost_hint()
+        assert hint.batch_vectorized  # explicit tables vectorize in one pass
+        from repro.distributions.base import SubsetDistribution
+
+        default = SubsetDistribution.oracle_cost_hint(dist)
+        assert default.python_fraction == 1.0 and not default.batch_vectorized
+
+    def test_seeded_overheads_prevent_probes(self, small_kdpp):
+        planner = _make_planner()
+        planner.choose(OracleBatch.counting(small_kdpp, [(0,)]))
+        # overheads were injected, so nothing was measured/overwritten
+        assert planner._overheads["process"] == 2e-3
+
+
+# ---------------------------------------------------------------------- #
+# the auto backend: defaults, overrides, seeded identity
+# ---------------------------------------------------------------------- #
+class TestAutoBackend:
+    def test_auto_is_registered_and_memoized(self):
+        auto = resolve_backend("auto")
+        assert isinstance(auto, AutoBackend)
+        assert resolve_backend("auto") is auto
+
+    def test_auto_rejects_conflicting_construction(self):
+        with pytest.raises(ValueError, match="not both"):
+            AutoBackend(RoundPlanner(), cost_model=CostModel())
+
+    def test_result_reports_inner_backend(self, small_kdpp):
+        auto = AutoBackend(_make_planner())
+        result = auto.execute(OracleBatch.counting(small_kdpp, [(0,), (1,)]),
+                              tracker=Tracker())
+        assert result.backend == "vectorized"
+
+    def test_explicit_backend_bypasses_planner(self, small_kdpp):
+        auto = AutoBackend(_make_planner())
+        with use_backend(auto):
+            before = len(auto.planner.decisions)
+            result = resolve_backend("serial").execute(
+                OracleBatch.counting(small_kdpp, [(0,), (1,)]), tracker=Tracker())
+            assert result.backend == "serial"
+            assert len(auto.planner.decisions) == before
+
+    def test_routed_batch_executes_on_chosen_backend(self, partition_dpp):
+        executed = []
+
+        class Recording(_FakeProcess):
+            def execute(self, batch, *, tracker=None):
+                executed.append(batch.kind)
+                return super().execute(batch, tracker=tracker)
+
+        planner = _make_planner(backends={
+            "vectorized": VectorizedBackend(),
+            "threads": _FakeThreads(),
+            "process": Recording(),
+        })
+        auto = AutoBackend(planner)
+        subsets = [(i % partition_dpp.n,) for i in range(400)]
+        auto.execute(OracleBatch.counting(partition_dpp, subsets), tracker=Tracker())
+        assert executed == ["counting"]
+
+    @pytest.mark.parametrize("forced", ["serial", "vectorized", "threads"])
+    def test_auto_identical_to_forced_symmetric(self, forced):
+        L = random_psd_ensemble(16, rank=8, seed=3)
+        reference = sample_symmetric_kdpp_parallel(L, k=5, seed=11, backend=forced)
+        with use_backend("auto"):
+            auto = sample_symmetric_kdpp_parallel(L, k=5, seed=11)
+        assert auto.subset == reference.subset
+
+    @pytest.mark.parametrize("forced", ["serial", "vectorized", "threads"])
+    def test_auto_identical_to_forced_partition(self, forced):
+        L = random_psd_ensemble(10, seed=4)
+        parts = [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+        reference = sample_partition_dpp_parallel(L, parts, [2, 2], seed=13,
+                                                  backend=forced)
+        with use_backend("auto"):
+            auto = sample_partition_dpp_parallel(L, parts, [2, 2], seed=13)
+        assert auto.subset == reference.subset
+
+    @pytest.mark.parametrize("forced", ["serial", "vectorized", "threads", "auto"])
+    def test_spectral_identity_across_backends(self, forced):
+        L = random_psd_ensemble(18, rank=9, seed=5)
+        reference = sample_kdpp_spectral(L, 5, seed=21, backend="vectorized")
+        assert sample_kdpp_spectral(L, 5, seed=21, backend=forced) == reference
+        dpp_reference = sample_dpp_spectral(L, seed=22, backend="vectorized")
+        assert sample_dpp_spectral(L, seed=22, backend=forced) == dpp_reference
+
+
+# ---------------------------------------------------------------------- #
+# spectral path through the engine
+# ---------------------------------------------------------------------- #
+class TestSpectralEngineRounds:
+    def test_projection_step_round_trip(self):
+        rng = np.random.default_rng(0)
+        basis, _ = np.linalg.qr(rng.standard_normal((10, 4)))
+        batch = OracleBatch.projection_step(basis)
+        result = resolve_backend("vectorized").execute(batch, tracker=Tracker())
+        np.testing.assert_array_equal(result.values, np.sum(basis * basis, axis=1))
+        (returned,) = result.artifacts["bases"]
+        np.testing.assert_array_equal(returned, basis)
+
+    def test_projection_step_identical_across_backends(self):
+        rng = np.random.default_rng(1)
+        basis, _ = np.linalg.qr(rng.standard_normal((12, 5)))
+        reference = None
+        for backend in (SerialBackend(), VectorizedBackend(), ThreadPoolBackend(max_workers=2)):
+            result = backend.execute(
+                OracleBatch.projection_step(basis, eliminate=(3,)), tracker=Tracker())
+            if reference is None:
+                reference = result
+            else:
+                np.testing.assert_array_equal(result.values, reference.values)
+                np.testing.assert_array_equal(result.artifacts["bases"][0],
+                                              reference.artifacts["bases"][0])
+
+    def test_stacked_matches_single(self):
+        """The fusion contract: G-stacked execution equals G=1 slices bitwise."""
+        from repro.linalg.batch import hkpv_projection_step
+
+        rng = np.random.default_rng(2)
+        bases = [np.linalg.qr(rng.standard_normal((9, 3)))[0] for _ in range(4)]
+        items = [0, 4, 7, 2]
+        stacked_w, stacked_b = hkpv_projection_step(np.stack(bases), items)
+        for g in range(4):
+            single_w, single_b = hkpv_projection_step(bases[g][None], [items[g]])
+            np.testing.assert_array_equal(stacked_w[g], single_w[0])
+            np.testing.assert_array_equal(stacked_b[g], single_b[0])
+
+    def test_spectral_depth_one_round_per_step(self):
+        L = random_psd_ensemble(12, seed=6)
+        tracker = Tracker()
+        with use_tracker(tracker):
+            sample_kdpp_spectral(L, 4, seed=7)
+        # eigendecomposition round + one engine round per phase-2 step
+        assert tracker.rounds == 5
+
+    def test_spectral_sample_statistics_hold(self):
+        # the engine rewrite must not perturb correctness of the sampler
+        from repro.dpp.exact import exact_kdpp_distribution
+
+        L = random_psd_ensemble(6, seed=8)
+        exact = exact_kdpp_distribution(L, 2)
+        rng = np.random.default_rng(9)
+        counts = {}
+        num_samples = 2000
+        for _ in range(num_samples):
+            s = sample_kdpp_spectral(L, 2, rng)
+            counts[s] = counts.get(s, 0) + 1
+        tv = 0.5 * sum(
+            abs(counts.get(s, 0) / num_samples - exact.probability_vector([s])[0])
+            for s in exact.support)
+        assert tv < 0.08
+
+
+# ---------------------------------------------------------------------- #
+# process backend: cost-model passthrough and BLAS pinning
+# ---------------------------------------------------------------------- #
+class TestProcessBackendSatellites:
+    def test_pin_worker_blas_threads_sets_defaults(self, monkeypatch):
+        for var in _WORKER_BLAS_ENV_VARS:
+            monkeypatch.delenv(var, raising=False)
+        monkeypatch.setenv("MKL_NUM_THREADS", "7")  # explicit settings win
+        _pin_worker_blas_threads()
+        assert os.environ["OMP_NUM_THREADS"] == "1"
+        assert os.environ["OPENBLAS_NUM_THREADS"] == "1"
+        assert os.environ["MKL_NUM_THREADS"] == "7"
+
+    def test_pinning_knob_controls_initializer(self):
+        assert ProcessPoolBackend(max_workers=1).pin_blas_threads is True
+        assert ProcessPoolBackend(max_workers=1,
+                                  pin_blas_threads=False).pin_blas_threads is False
+
+    @pytest.mark.skipif(not shared_memory_available(),
+                        reason="multiprocessing.shared_memory unavailable")
+    def test_custom_cost_model_ships_to_workers(self):
+        L = random_psd_ensemble(10, seed=2)
+        dist = PartitionDPP(L, [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]], [2, 1])
+        subsets = [(0,), (1,), (5,), (0, 5), (2, 6)]
+        model = CostModel(determinant_exponent=2.25)
+        reference = Tracker(model)
+        resolve_backend("vectorized").execute(OracleBatch.counting(dist, subsets),
+                                              tracker=reference)
+        shipped = Tracker(model)
+        backend = resolve_backend("process")
+        backend.execute(OracleBatch.counting(dist, subsets), tracker=shipped)
+        # parity holds whether the batch ran in workers (shipped model) or
+        # fell back in-process (same tracker): either way the custom
+        # exponent prices every determinant
+        assert shipped.work == pytest.approx(reference.work)

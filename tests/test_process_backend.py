@@ -1,7 +1,8 @@
 """Process execution backend: shm transport, payload round trips, backend
 equivalence on every batch kind, and fixed-seed sample identity across all
-four backends (``serial`` / ``vectorized`` / ``threads`` / ``process``) on
-every theorem sampler — fused and unfused."""
+backends (``serial`` / ``vectorized`` / ``threads`` / ``process`` / the
+planner-driven ``auto``) on every theorem sampler — spectral included,
+fused and unfused."""
 
 import pickle
 import warnings
@@ -50,6 +51,7 @@ def backends(process_backend):
         "vectorized": resolve_backend("vectorized"),
         "threads": resolve_backend("threads"),
         "process": process_backend,
+        "auto": resolve_backend("auto"),  # the planner must never change values
     }
 
 
@@ -199,6 +201,37 @@ class TestFourBackendSamplerIdentity:
     def test_entropic_explicit_table(self, explicit, backends):
         self._assert_identical(lambda b: batched_sample(explicit, seed=321, backend=b),
                                backends)
+
+    def test_spectral_kdpp(self, backends):
+        from repro.dpp.spectral import sample_kdpp_spectral
+
+        L = random_psd_ensemble(14, rank=8, seed=24)
+        subsets = {name: sample_kdpp_spectral(L, 5, seed=77, backend=b)
+                   for name, b in backends.items()}
+        assert len(set(subsets.values())) == 1, subsets
+
+    def test_spectral_dpp(self, backends):
+        from repro.dpp.spectral import sample_dpp_spectral
+
+        L = random_psd_ensemble(12, rank=6, seed=25)
+        subsets = {name: sample_dpp_spectral(L, seed=78, backend=b)
+                   for name, b in backends.items()}
+        assert len(set(subsets.values())) == 1, subsets
+
+    def test_fused_spectral_on_process_backend(self, process_backend):
+        """Stacked HKPV steps through the process-backed scheduler keep
+        seed identity (the projection kind is fixed-route on every backend)."""
+        registry = repro.KernelRegistry()
+        L = random_psd_ensemble(20, rank=12, seed=26)
+        with repro.serve(L, registry=registry) as session:
+            scheduler = repro.RoundScheduler(session, backend=process_backend)
+            seeds = [71, 72, 73]
+            for seed in seeds:
+                scheduler.submit(5, seed=seed, method="spectral")
+            fused = [result.subset for result in scheduler.drain()]
+            unfused = [session.sample(k=5, seed=seed, method="spectral").subset
+                       for seed in seeds]
+        assert fused == unfused
 
     @pytest.mark.parametrize("kind", ["symmetric", "nonsymmetric", "partition"])
     def test_fused_equals_unfused_on_process_backend(self, kind, process_backend):

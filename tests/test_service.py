@@ -350,8 +350,15 @@ class TestRoundScheduler:
         scheduler = RoundScheduler(serve(psd, name="m", registry=registry))
         with pytest.raises(TypeError, match="backend"):
             scheduler.submit(4, seed=1, backend="vectorized")
-        with pytest.raises(TypeError, match="method"):
-            scheduler.submit(4, seed=1, method="spectral")
+        with pytest.raises(ValueError, match="unknown sampling method"):
+            scheduler.submit(4, seed=1, method="hkpv")
+
+    def test_submit_rejects_spectral_on_nonsymmetric(self, registry):
+        L = random_npsd_ensemble(10, seed=4)
+        session = serve(L, name="npsd", kind="nonsymmetric", registry=registry)
+        scheduler = RoundScheduler(session)
+        with pytest.raises(ValueError, match="symmetric"):
+            scheduler.submit(3, seed=1, method="spectral")
 
     def test_session_scheduler_settings_conflict_raises(self, registry, psd):
         session = serve(psd, name="m", registry=registry)
@@ -612,3 +619,130 @@ class TestSharedFingerprintInvalidation:
         assert entry.fingerprint in registry.cache
         registry.unregister("only")
         assert entry.fingerprint not in registry.cache
+
+
+# ---------------------------------------------------------------------- #
+# spectral fusion (ISSUE 4: HKPV routed through the engine)
+# ---------------------------------------------------------------------- #
+class TestSpectralFusion:
+    def test_fused_spectral_equals_unfused(self, registry, psd):
+        session = serve(psd, name="m", registry=registry)
+        scheduler = session.scheduler()
+        seeds = [70, 71, 72, 73]
+        for seed in seeds:
+            scheduler.submit(5, seed=seed, method="spectral")
+        fused = [r.subset for r in scheduler.drain()]
+        unfused = [session.sample(k=5, seed=s, method="spectral").subset for s in seeds]
+        assert fused == unfused
+
+    def test_fused_spectral_equals_cold_path(self, registry, psd):
+        session = serve(psd, name="m", registry=registry)
+        scheduler = session.scheduler()
+        tickets = [scheduler.submit(4, seed=80 + i, method="spectral") for i in range(3)]
+        results = scheduler.drain()
+        for ticket, result in zip(tickets, results):
+            assert result.subset == sample_kdpp_spectral(psd, 4, seed=ticket.seed)
+
+    def test_spectral_steps_actually_fuse(self, registry, psd):
+        session = serve(psd, name="m", registry=registry)
+        scheduler = session.scheduler()
+        for seed in range(4):
+            scheduler.submit(5, seed=90 + seed, method="spectral")
+        scheduler.drain()
+        # 4 requests x 5 lockstep steps collapse into 5 stacked rounds
+        assert scheduler.executed_batches < scheduler.submitted_batches
+        assert scheduler.fused_rounds > 0
+
+    def test_mixed_methods_drain_together(self, registry, psd):
+        session = serve(psd, name="m", registry=registry)
+        scheduler = session.scheduler()
+        spectral = scheduler.submit(4, seed=101, method="spectral")
+        parallel = scheduler.submit(4, seed=102)  # method="parallel" default
+        results = scheduler.drain()
+        assert results[spectral.index].subset == session.sample(
+            k=4, seed=101, method="spectral").subset
+        assert results[parallel.index].subset == session.sample(
+            k=4, seed=102, method="parallel").subset
+
+    def test_unconstrained_spectral_fuses(self, registry, psd):
+        session = serve(psd, name="m", registry=registry)
+        scheduler = session.scheduler()
+        tickets = [scheduler.submit(seed=110 + i, method="spectral") for i in range(3)]
+        results = scheduler.drain()
+        for ticket, result in zip(tickets, results):
+            assert result.subset == sample_dpp_spectral(psd, seed=ticket.seed)
+
+
+# ---------------------------------------------------------------------- #
+# warm-up API and byte-budget eviction (ISSUE 4 satellites)
+# ---------------------------------------------------------------------- #
+class TestWarmup:
+    def test_register_warm_materializes_artifacts(self, registry, psd):
+        entry = registry.register("warmed", psd, warm=True)
+        fact = registry.cache.factorization(entry.matrix, fingerprint=entry.fingerprint)
+        names = set(fact.materialized)
+        assert {"eigh", "eigenvalues", "esp", "factor", "kernel"} <= names
+
+    def test_session_warm_is_chainable_and_identical(self, registry, psd):
+        cold = serve(psd, name="m", registry=registry).sample(k=5, seed=7).subset
+        warm_session = serve(psd, name="m", registry=KernelRegistry()).warm()
+        assert warm_session.sample(k=5, seed=7).subset == cold
+        assert len(warm_session.factorization.materialized) >= 5
+
+    def test_warm_partition_requires_structure(self, registry, psd):
+        fact = registry.cache.factorization(psd)
+        with pytest.raises(ValueError, match="parts"):
+            fact.warm("partition")
+        with pytest.raises(ValueError, match="unknown kernel kind"):
+            fact.warm("banded")
+
+    def test_register_warm_partition(self, registry):
+        L = random_psd_ensemble(8, seed=9)
+        parts = [[0, 1, 2, 3], [4, 5, 6, 7]]
+        entry = registry.register("pwarm", L, kind="partition", parts=parts,
+                                  counts=[2, 1], warm=True)
+        fact = registry.cache.factorization(entry.matrix, fingerprint=entry.fingerprint)
+        assert any(str(key).startswith("('partition_z'") for key in fact.materialized)
+
+    def test_closed_session_rejects_warm(self, registry, psd):
+        session = serve(psd, name="m", registry=registry)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.warm()
+
+
+class TestByteBudgetEviction:
+    def test_size_budget_evicts_lru(self):
+        cache = FactorizationCache(capacity=16, max_bytes=1)
+        kernels = [random_psd_ensemble(12, seed=s) for s in range(3)]
+        for kernel in kernels:
+            cache.factorization(kernel).warm("symmetric")
+            cache.factorization(kernel)  # lookup enforces the budget
+        info = cache.cache_info()
+        assert info["entries"] == 1  # most-recent survivor only
+        assert info["size_evictions"] == 2
+        assert info["evictions"] == 0  # entry-count bound never fired
+        assert cache.fingerprints() == [array_fingerprint(kernels[-1])]
+
+    def test_budget_keeps_single_oversized_entry(self, psd):
+        cache = FactorizationCache(max_bytes=1)
+        fact = cache.factorization(psd)
+        fact.warm("symmetric")
+        assert cache.factorization(psd) is fact  # still cached, still warm
+
+    def test_no_budget_means_no_size_evictions(self, psd):
+        cache = FactorizationCache(capacity=2)
+        for seed in range(4):
+            cache.factorization(random_psd_ensemble(10, seed=seed))
+        info = cache.cache_info()
+        assert info["size_evictions"] == 0 and info["evictions"] == 2
+        assert info["max_bytes"] is None
+
+    def test_stats_expose_size_evictions_separately(self, psd):
+        cache = FactorizationCache(max_bytes=0)
+        stats = cache.stats.as_dict()
+        assert "size_evictions" in stats and "evictions" in stats
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            FactorizationCache(max_bytes=-1)
