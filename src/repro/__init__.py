@@ -34,6 +34,12 @@ whose repeated draws reuse cached factorizations
 shared engine rounds — fixed-seed samples are identical with and without the
 cache, and fused or unfused.
 
+Cluster layer: :func:`repro.serve_cluster` shards the registry + cache across
+:class:`~repro.cluster.ShardNode` processes behind a consistent-hash
+:class:`~repro.cluster.HashRing` (replication R, replica failover, minimal-
+movement rebalance), returning a :class:`~repro.cluster.ClusterSession` with
+the same ``sample/warm/close`` surface and byte-identical fixed-seed samples.
+
 Substrates: :mod:`repro.dpp` (kernels, counting oracles),
 :mod:`repro.planar` (Kasteleyn counting, separators), :mod:`repro.linalg`
 (NC-style linear algebra, batched in :mod:`repro.linalg.batch`),
@@ -43,7 +49,7 @@ independence, isotropic transform, hard instance), :mod:`repro.workloads`
 (synthetic workloads).
 """
 
-from repro import core, distributions, dpp, engine, linalg, planar, pram, service, utils, workloads
+from repro import cluster, core, distributions, dpp, engine, linalg, planar, pram, service, utils, workloads
 from repro.service import (
     FactorizationCache,
     KernelRegistry,
@@ -51,6 +57,14 @@ from repro.service import (
     SamplerSession,
     default_registry,
     serve,
+)
+from repro.cluster import (
+    ClusterClient,
+    ClusterSession,
+    HashRing,
+    LocalCluster,
+    ShardNode,
+    serve_cluster,
 )
 from repro.engine import (
     AutoBackend,
@@ -86,6 +100,7 @@ from repro.pram import Tracker
 __version__ = "1.0.0"
 
 __all__ = [
+    "cluster",
     "core",
     "distributions",
     "dpp",
@@ -102,6 +117,12 @@ __all__ = [
     "SamplerSession",
     "default_registry",
     "serve",
+    "ClusterClient",
+    "ClusterSession",
+    "HashRing",
+    "LocalCluster",
+    "ShardNode",
+    "serve_cluster",
     "SampleResult",
     "SamplerReport",
     "Tracker",

@@ -1,0 +1,574 @@
+"""Cluster client: consistent-hash routing, replication, and the session facade.
+
+:class:`ClusterClient` is the piece every serving process embeds: it holds
+the :class:`~repro.cluster.ring.HashRing`, one lazy
+:class:`~repro.cluster.protocol.Connection` per shard node, and a catalog of
+``name -> (fingerprint, kind)`` registrations.  Every kernel is routed by the
+same content fingerprint that keys the factorization caches
+(:func:`~repro.service.registry.kernel_fingerprint`), so the node that owns a
+kernel's traffic is exactly the node holding its warm eigendecompositions.
+
+Replication factor ``R`` registers each kernel on the first ``R`` distinct
+ring owners; reads (sample/drain/warm) go primary-first and **fail over** to
+the next replica when a node is unreachable — and because node-side sampling
+is seed-deterministic, a failover returns the byte-identical sample the
+primary would have produced.
+
+:class:`ClusterSession` is the drop-in ``SamplerSession``-shaped handle
+:func:`repro.serve_cluster` returns: the same ``sample / warm / close`` (and
+``submit / drain``) surface, backed by the ring instead of a local registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.protocol import ClusterError, Connection, NodeUnavailable
+from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.utils.fingerprint import kernel_fingerprint
+from repro.utils.rng import SeedLike, substream_seed
+
+__all__ = ["ClusterClient", "ClusterSession", "RebalanceReport"]
+
+
+@dataclass
+class _CatalogEntry:
+    name: str
+    fingerprint: str
+    kind: str
+    n: int
+
+
+@dataclass
+class RebalanceReport:
+    """What a ring-membership change actually moved."""
+
+    #: fingerprints whose owner set gained at least one node
+    moved: int
+    #: registered fingerprints at the time of the change
+    total: int
+    #: fingerprints that could not be copied (every previous owner down)
+    lost: Tuple[str, ...] = ()
+
+    @property
+    def moved_fraction(self) -> float:
+        return self.moved / self.total if self.total else 0.0
+
+
+def _wire_seed(seed: SeedLike) -> object:
+    """Validate that ``seed`` can cross the wire reproducibly."""
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "cluster sessions need a re-derivable seed (int or SeedSequence); "
+            "a Generator's state cannot be shipped to a shard node"
+        )
+    return seed
+
+
+class ClusterClient:
+    """Routing client over a set of shard-node addresses.
+
+    ``addresses`` maps node id to ``(host, port)``; the ring is derived from
+    the ids (or injected for tests).  All methods are thread-safe.
+    """
+
+    def __init__(self, addresses: Dict[str, Tuple[str, int]], *,
+                 replication: int = 1, ring: Optional[HashRing] = None,
+                 vnodes: int = DEFAULT_VNODES, timeout: float = 30.0):
+        if replication < 1:
+            raise ValueError(f"replication must be positive, got {replication}")
+        self.addresses = {str(node): (host, int(port))
+                          for node, (host, port) in addresses.items()}
+        self.replication = int(replication)
+        self.timeout = float(timeout)
+        self.ring = ring if ring is not None else HashRing(self.addresses, vnodes=vnodes)
+        self._lock = threading.RLock()
+        self._connections: Dict[str, Connection] = {}
+        self._catalog: Dict[str, _CatalogEntry] = {}
+        self.failovers = 0
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _connection(self, node_id: str) -> Connection:
+        with self._lock:
+            connection = self._connections.get(node_id)
+            if connection is None:
+                address = self.addresses.get(node_id)
+                if address is None:
+                    raise ClusterError(f"no address for node {node_id!r}")
+                connection = Connection(address, timeout=self.timeout)
+                self._connections[node_id] = connection
+            return connection
+
+    def call_node(self, node_id: str, request: dict):
+        """One request to one specific node (no failover)."""
+        return self._connection(node_id).request(request)
+
+    def owners(self, fingerprint: str) -> Tuple[str, ...]:
+        """The replica set for ``fingerprint``, primary first."""
+        return self.ring.nodes_for(fingerprint, self.replication)
+
+    def call(self, fingerprint: str, request: dict):
+        """Routed request with replica failover.
+
+        Unreachable owners (and replicas missing the kernel, e.g. mid-
+        rebalance) are skipped in ring order; the first answer wins.  Every
+        cluster op is idempotent/deterministic, so a retry on the next
+        replica can never produce a different outcome than the primary —
+        including byte-identical fixed-seed samples.
+        """
+        last_error: Optional[BaseException] = None
+        for position, node_id in enumerate(self.owners(fingerprint)):
+            try:
+                return self.call_node(node_id, request)
+            except (NodeUnavailable, KeyError) as exc:
+                # KeyError: the replica exists but never received this kernel
+                # (a join raced the rebalance) — read through to the next one
+                last_error = exc
+                if position + 1 < len(self.owners(fingerprint)):
+                    with self._lock:
+                        self.failovers += 1
+        if isinstance(last_error, KeyError):
+            raise last_error
+        raise ClusterError(
+            f"all owners of {fingerprint[:12]} are unreachable"
+        ) from last_error
+
+    # ------------------------------------------------------------------ #
+    # registration & catalog
+    # ------------------------------------------------------------------ #
+    def register(self, matrix: np.ndarray, *, name: Optional[str] = None,
+                 kind: str = "symmetric",
+                 parts: Optional[Sequence[Sequence[int]]] = None,
+                 counts: Optional[Sequence[int]] = None,
+                 warm: bool = False, validate: bool = True) -> _CatalogEntry:
+        """Register a kernel on every ring owner of its content fingerprint.
+
+        The fingerprint is computed client-side (it decides *where* to
+        register) with the identical derivation the node's registry uses;
+        registration succeeds if at least one owner accepted — down replicas
+        catch up on the next rebalance.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        fingerprint = kernel_fingerprint(matrix, kind=kind, parts=parts, counts=counts)
+        if name is None:
+            name = f"kernel-{fingerprint[:12]}"
+        request = {"op": "register", "name": name, "matrix": matrix, "kind": kind,
+                   "parts": parts, "counts": counts, "warm": warm,
+                   "validate": validate}
+        accepted = 0
+        last_error: Optional[BaseException] = None
+        for node_id in self.owners(fingerprint):
+            try:
+                info = self.call_node(node_id, request)
+            except NodeUnavailable as exc:
+                last_error = exc
+                continue
+            if info["fingerprint"] != fingerprint:  # pragma: no cover - contract guard
+                raise ClusterError(
+                    f"node {node_id} derived fingerprint {info['fingerprint'][:12]} "
+                    f"for a kernel routed by {fingerprint[:12]}"
+                )
+            accepted += 1
+        if not accepted:
+            raise ClusterError(
+                f"no owner of {fingerprint[:12]} is reachable"
+            ) from last_error
+        entry = _CatalogEntry(name=name, fingerprint=fingerprint, kind=kind,
+                              n=matrix.shape[0])
+        with self._lock:
+            self._catalog[name] = entry
+        return entry
+
+    def lookup(self, name: str) -> _CatalogEntry:
+        """Catalog entry for ``name``; asks the nodes when not cached locally."""
+        with self._lock:
+            entry = self._catalog.get(name)
+        if entry is not None:
+            return entry
+        for node_id in self.ring.nodes:
+            try:
+                catalog = self.call_node(node_id, {"op": "catalog"})
+            except NodeUnavailable:
+                continue
+            info = catalog.get(name)
+            if info is not None:
+                entry = _CatalogEntry(name=name, fingerprint=info["fingerprint"],
+                                      kind=info["kind"], n=info["n"])
+                with self._lock:
+                    self._catalog[name] = entry
+                return entry
+        raise KeyError(f"no kernel registered under {name!r} on any reachable node")
+
+    def catalog(self) -> Dict[str, str]:
+        """``name -> fingerprint`` of everything this client has registered."""
+        with self._lock:
+            return {name: entry.fingerprint for name, entry in self._catalog.items()}
+
+    # ------------------------------------------------------------------ #
+    # serving surface
+    # ------------------------------------------------------------------ #
+    def session(self, name: str, *, scheduler_seed: SeedLike = 0) -> "ClusterSession":
+        """Open a :class:`ClusterSession` (the ``SamplerSession`` facade)."""
+        return ClusterSession(self, self.lookup(name), scheduler_seed=scheduler_seed)
+
+    def sample(self, name: str, k: Optional[int] = None, *, seed: SeedLike = None,
+               method: Optional[str] = None, delta: float = 1e-2):
+        entry = self.lookup(name)
+        return self.call(entry.fingerprint, {
+            "op": "sample", "name": name, "k": k, "seed": _wire_seed(seed),
+            "method": method, "delta": delta,
+        })
+
+    def warm(self, name: str) -> int:
+        """Warm the kernel on every reachable owner; returns how many warmed."""
+        entry = self.lookup(name)
+        warmed = 0
+        last_error: Optional[BaseException] = None
+        for node_id in self.owners(entry.fingerprint):
+            try:
+                self.call_node(node_id, {"op": "warm", "name": name})
+                warmed += 1
+            except (NodeUnavailable, KeyError) as exc:
+                last_error = exc
+        if not warmed:
+            raise ClusterError(f"no owner of {name!r} is reachable") from last_error
+        return warmed
+
+    # ------------------------------------------------------------------ #
+    # membership & rebalance
+    # ------------------------------------------------------------------ #
+    def _catalog_by_fingerprint(self) -> Dict[str, List[_CatalogEntry]]:
+        """Registered entries grouped by content (several names may share one
+        fingerprint; every name must survive a move, not just one of them)."""
+        grouped: Dict[str, List[_CatalogEntry]] = {}
+        for entry in self._catalog.values():
+            grouped.setdefault(entry.fingerprint, []).append(entry)
+        return grouped
+
+    def add_node(self, node_id: str, address: Tuple[str, int]) -> RebalanceReport:
+        """Join ``node_id`` and move only the fingerprints it now owns.
+
+        Consistent hashing guarantees the moved set is ≈ ``K/N`` of the
+        ``K`` registered fingerprints (``≈ R·K/N`` with replication) — the
+        report's ``moved``/``moved_fraction`` make that checkable.
+        """
+        with self._lock:
+            grouped = self._catalog_by_fingerprint()
+            before = self.ring.ownership(grouped, self.replication)
+            self.addresses[str(node_id)] = (address[0], int(address[1]))
+            self.ring.add_node(node_id)
+            after = self.ring.ownership(grouped, self.replication)
+        return self._move(grouped, before, after)
+
+    def remove_node(self, node_id: str, *, contact: bool = True) -> RebalanceReport:
+        """Leave ``node_id`` (planned drain): re-home its kernels first.
+
+        The departing node stays addressable until the move completes — it
+        may be the only copy of some kernels (R=1), in which case it is the
+        export source.  ``contact=False`` (what :meth:`forget_node` passes
+        for a node known to be dead) never opens a connection to it, so a
+        black-holed host cannot stall the move on per-kernel timeouts.
+        """
+        with self._lock:
+            if str(node_id) in self.ring and len(self.ring) == 1:
+                raise ClusterError(
+                    f"cannot remove {node_id!r}: it is the last ring node, "
+                    "there is nowhere to re-home its kernels"
+                )
+            grouped = self._catalog_by_fingerprint()
+            before = self.ring.ownership(grouped, self.replication)
+            self.ring.remove_node(node_id)
+            after = self.ring.ownership(grouped, self.replication)
+        report = self._move(grouped, before, after, drained=str(node_id),
+                            contact_drained=contact)
+        with self._lock:
+            connection = self._connections.pop(str(node_id), None)
+            self.addresses.pop(str(node_id), None)
+        if connection is not None:
+            connection.close()
+        return report
+
+    def forget_node(self, node_id: str) -> RebalanceReport:
+        """Remove a *dead* node from the ring (no drain attempt).
+
+        Unlike :meth:`remove_node` this never contacts the departing node —
+        kernels are re-copied onto their new owners from surviving replicas
+        (with R=1 the dead node held the only copy, so those fingerprints
+        are reported as ``lost`` instead of stalling on its timeouts).
+        """
+        return self.remove_node(node_id, contact=False)
+
+    def _move(self, grouped: Dict[str, List[_CatalogEntry]],
+              before: Dict[str, Tuple[str, ...]],
+              after: Dict[str, Tuple[str, ...]],
+              drained: Optional[str] = None,
+              contact_drained: bool = True) -> RebalanceReport:
+        moved = 0
+        lost: List[str] = []
+        for fingerprint, owners in after.items():
+            previous = before.get(fingerprint, ())
+            new_owners = [node for node in owners if node not in previous]
+            if not new_owners:
+                continue
+            moved += 1
+            entries = grouped[fingerprint]
+            payload = self._export(entries, previous,
+                                   drained if contact_drained else None,
+                                   avoid=None if contact_drained else drained)
+            if payload is None:
+                lost.append(fingerprint)
+                continue
+            # equal-content names share one matrix but are registered (and
+            # looked up) independently: every alias must reach the new owners
+            for entry in entries:
+                request = {"op": "register", "name": entry.name,
+                           "matrix": payload["matrix"], "kind": payload["kind"],
+                           "parts": payload["parts"], "counts": payload["counts"],
+                           # the exporter validated at original registration time
+                           "warm": False, "validate": False}
+                for node_id in new_owners:
+                    try:
+                        self.call_node(node_id, request)
+                    except NodeUnavailable:
+                        continue  # it will read-through repair on first use
+        return RebalanceReport(moved=moved, total=len(after), lost=tuple(lost))
+
+    def _export(self, entries: List[_CatalogEntry], previous: Tuple[str, ...],
+                drained: Optional[str], avoid: Optional[str] = None) -> Optional[dict]:
+        sources = [node for node in previous if node != drained and node != avoid]
+        if drained is not None and drained in previous:
+            sources.append(drained)  # last resort: the draining node itself
+        for node_id in sources:
+            for entry in entries:
+                try:
+                    return self.call_node(node_id, {"op": "export", "name": entry.name})
+                except (ClusterError, KeyError):  # unreachable, dropped, or missing
+                    continue
+        return None
+
+    # ------------------------------------------------------------------ #
+    # diagnostics & lifecycle
+    # ------------------------------------------------------------------ #
+    def cluster_info(self) -> Dict[str, object]:
+        """Per-node stats plus a cache rollup across the whole ring."""
+        nodes: Dict[str, object] = {}
+        totals = {"hits": 0, "misses": 0, "evictions": 0, "size_evictions": 0,
+                  "expired": 0, "invalidations": 0, "entries": 0, "nbytes": 0}
+        samples = 0
+        alive = 0
+        for node_id in self.ring.nodes:
+            try:
+                stats = self.call_node(node_id, {"op": "stats"})
+            except NodeUnavailable as exc:
+                nodes[node_id] = {"unreachable": str(exc)}
+                continue
+            alive += 1
+            nodes[node_id] = stats
+            samples += stats.get("samples_served", 0)
+            cache = stats.get("registry", {}).get("cache", {})
+            for key in totals:
+                totals[key] += int(cache.get(key, 0))
+        return {
+            "nodes": nodes,
+            "alive": alive,
+            "ring": {"nodes": list(self.ring.nodes), "vnodes": self.ring.vnodes,
+                     "replication": self.replication},
+            "registered": len(self._catalog),
+            "samples_served": samples,
+            "failovers": self.failovers,
+            "cache": totals,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            connections, self._connections = list(self._connections.values()), {}
+        for connection in connections:
+            connection.close()
+
+
+class ClusterSession:
+    """``SamplerSession``-shaped facade over one cluster-registered kernel.
+
+    Drop-in for the single-node session's serving surface — ``sample``,
+    ``warm``, ``close`` (and ``submit``/``drain`` for fused batches) with the
+    same defaults and the same fixed-seed samples; the differences are the
+    wire constraints (seeds must be re-derivable, sampler ``config`` objects
+    and per-call ``backend`` overrides do not ship) and that ``close`` only
+    releases client state (shard registrations are durable by design).
+    """
+
+    def __init__(self, client: ClusterClient, entry: _CatalogEntry, *,
+                 scheduler_seed: SeedLike = 0, owned_cluster=None):
+        self._client = client
+        self._entry = entry
+        self._root_seed = scheduler_seed if scheduler_seed is not None else 0
+        self._owned_cluster = owned_cluster
+        self._lock = threading.Lock()
+        self._queue: List[dict] = []
+        self._submitted = 0
+        self._closed = False
+        self.samples_served = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._entry.name
+
+    @property
+    def kind(self) -> str:
+        return self._entry.kind
+
+    @property
+    def n(self) -> int:
+        return self._entry.n
+
+    @property
+    def fingerprint(self) -> str:
+        return self._entry.fingerprint
+
+    @property
+    def owners(self) -> Tuple[str, ...]:
+        """Current replica set (primary first) — changes with the ring."""
+        return self._client.owners(self._entry.fingerprint)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(f"cluster session on kernel {self.name!r} is closed")
+
+    # ------------------------------------------------------------------ #
+    def sample(self, k: Optional[int] = None, *, seed: SeedLike = None,
+               method: Optional[str] = None, delta: float = 1e-2,
+               config=None, backend=None, tracker=None):
+        """One draw, routed to the kernel's primary (replicas on failure).
+
+        Fixed-seed draws are byte-identical to ``repro.serve(...)`` on a
+        single node: the shard runs the very same session/sampler stack.
+        """
+        self._check_open()
+        if config is not None:
+            raise ValueError(
+                "sampler config objects hold callables and do not ship over "
+                "the cluster wire; tune delta= instead"
+            )
+        if backend is not None or tracker is not None:
+            raise ValueError(
+                "backend/tracker are node-side concerns in a cluster: set the "
+                "backend on the ShardNode, read reports from the result"
+            )
+        result = self._client.call(self._entry.fingerprint, {
+            "op": "sample", "name": self.name, "k": k, "seed": _wire_seed(seed),
+            "method": method, "delta": delta,
+        })
+        with self._lock:
+            self.samples_served += 1
+        return result
+
+    def warm(self) -> "ClusterSession":
+        """Precompute factorization artifacts on every reachable owner."""
+        self._check_open()
+        self._client.warm(self.name)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # fused batches: queue client-side, fuse node-side
+    # ------------------------------------------------------------------ #
+    def submit(self, k: Optional[int] = None, *, seed: SeedLike = None,
+               method: str = "parallel", **kwargs) -> int:
+        """Queue one draw for the next :meth:`drain`; returns its index.
+
+        Unseeded requests get the same deterministic substream a local
+        :class:`~repro.service.scheduler.RoundScheduler` would assign
+        (:func:`~repro.utils.rng.substream_seed` — the shared derivation),
+        shipped as a picklable ``SeedSequence`` — so a cluster drain is
+        byte-identical to a single-node ``session.submit()/drain()`` with
+        the same root seed.
+
+        Unshippable arguments are rejected *here*, exactly as :meth:`sample`
+        rejects them — accepting them would poison the queue and fail every
+        later :meth:`drain` (which re-queues on error by design).
+        """
+        self._check_open()
+        for rejected in ("config", "backend", "tracker"):
+            if kwargs.get(rejected) is not None:
+                raise ValueError(
+                    f"{rejected}= does not ship over the cluster wire; "
+                    "see ClusterSession.sample for the node-side alternatives"
+                )
+        with self._lock:
+            index = self._submitted
+            self._submitted += 1
+            if seed is None:
+                seed = substream_seed(self._root_seed, index)
+            self._queue.append({"k": k, "seed": _wire_seed(seed), "method": method,
+                                "kwargs": dict(kwargs)})
+            return index
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def drain(self) -> List[object]:
+        """Execute the queued draws as one node-side fused batch."""
+        self._check_open()
+        with self._lock:
+            queue, self._queue = self._queue, []
+        if not queue:
+            return []
+        try:
+            results = self._client.call(self._entry.fingerprint, {
+                "op": "drain", "name": self.name, "requests": queue,
+                "seed": self._root_seed if not isinstance(
+                    self._root_seed, np.random.SeedSequence) else 0,
+            })
+        except BaseException:
+            with self._lock:  # failed drains leave the queue intact
+                self._queue = queue + self._queue
+            raise
+        with self._lock:
+            self.samples_served += len(results)
+        return results
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Dict[str, object]:
+        return {
+            "kernel": self.name,
+            "kind": self.kind,
+            "n": self.n,
+            "owners": list(self.owners),
+            "samples_served": self.samples_served,
+            "failovers": self._client.failovers,
+        }
+
+    def close(self) -> None:
+        """Close the facade (idempotent).
+
+        Shard-side registrations are durable; only when this session owns a
+        private auto-started cluster (``repro.serve_cluster(matrix)`` with no
+        ``cluster=``) is that cluster shut down with it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            owned, self._owned_cluster = self._owned_cluster, None
+        if owned is not None:
+            owned.shutdown()
+
+    def __enter__(self) -> "ClusterSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

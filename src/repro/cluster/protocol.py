@@ -1,0 +1,150 @@
+"""Length-prefixed pickle framing for the shard-node wire protocol.
+
+One frame = an 8-byte big-endian length header followed by that many bytes of
+pickle (protocol 5, so large ndarrays — sample payloads, exported kernels —
+serialize without intermediate copies on 3.10+).  Requests and responses are
+plain dicts: ``{"op": ..., **args}`` up, ``{"ok": True, "value": ...}`` or
+``{"ok": False, "error": exc, "message": ...}`` down.  The format is
+deliberately tiny — the cluster layer's interesting behavior (routing,
+replication, rebalance) lives above the wire, and a dict protocol keeps node
+and client versions loosely coupled.
+
+Trust model: pickle is code execution, so this protocol is for nodes and
+clients under one operator on one trust domain (the same stance as
+:mod:`multiprocessing`'s own pickler).  Nodes bind loopback by default.
+
+:class:`Connection` is the client side: lazy connect, one in-flight request
+at a time (guarded), transport failures surface as :class:`NodeUnavailable`
+— the signal the cluster client's replica failover catches.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Optional, Tuple
+
+__all__ = [
+    "ClusterError",
+    "NodeUnavailable",
+    "RemoteError",
+    "send_frame",
+    "recv_frame",
+    "Connection",
+]
+
+#: frame header: unsigned 64-bit big-endian payload length
+_HEADER = struct.Struct(">Q")
+
+#: sanity bound on one frame (1 GiB) — a corrupt header must not OOM the node
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ClusterError(RuntimeError):
+    """Base class for cluster-layer failures."""
+
+
+class NodeUnavailable(ClusterError):
+    """The node could not be reached (or hung up mid-exchange).
+
+    Transport-level only: the request may or may not have executed, which is
+    safe here because every cluster op is idempotent (register is
+    content-idempotent, sampling is seed-deterministic).
+    """
+
+
+class RemoteError(ClusterError):
+    """The node executed the request and raised; carries the remote detail."""
+
+
+def send_frame(sock: socket.socket, obj: object) -> None:
+    """Serialize ``obj`` and write one frame."""
+    blob = pickle.dumps(obj, protocol=5)
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    parts = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise NodeUnavailable("connection closed mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def recv_frame(sock: socket.socket) -> object:
+    """Read one frame; raises :class:`NodeUnavailable` on EOF/short reads."""
+    header = sock.recv(_HEADER.size)
+    if not header:
+        raise NodeUnavailable("connection closed")
+    if len(header) < _HEADER.size:
+        header += _recv_exact(sock, _HEADER.size - len(header))
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ClusterError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES} bound")
+    return pickle.loads(_recv_exact(sock, int(length)))
+
+
+class Connection:
+    """One client's lazily connected, serially used channel to a node."""
+
+    def __init__(self, address: Tuple[str, int], *, timeout: float = 30.0):
+        self.address = (str(address[0]), int(address[1]))
+        self.timeout = float(timeout)
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    def _ensure_locked(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(self.address, timeout=self.timeout)
+            except OSError as exc:
+                raise NodeUnavailable(f"cannot connect to {self.address}: {exc}") from exc
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def request(self, payload: dict) -> object:
+        """Send one request dict, return the remote value (or raise).
+
+        A transport failure closes the cached socket so the next request
+        reconnects — the caller decides whether to fail over instead.
+        """
+        with self._lock:
+            sock = self._ensure_locked()
+            try:
+                send_frame(sock, payload)
+                reply = recv_frame(sock)
+            except (OSError, NodeUnavailable, EOFError, pickle.UnpicklingError) as exc:
+                self._close_locked()
+                if isinstance(exc, NodeUnavailable):
+                    raise
+                raise NodeUnavailable(f"transport failure to {self.address}: {exc}") from exc
+        if not isinstance(reply, dict) or "ok" not in reply:
+            raise ClusterError(f"malformed reply from {self.address}: {reply!r}")
+        if reply["ok"]:
+            return reply.get("value")
+        error = reply.get("error")
+        if isinstance(error, BaseException):
+            # re-raise the genuine remote exception (ValueError for a bad
+            # k, KeyError for an unknown kernel, ...) so the cluster session
+            # stays drop-in with the local SamplerSession surface
+            raise error
+        raise RemoteError(str(reply.get("message", error)))
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass

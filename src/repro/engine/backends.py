@@ -116,6 +116,17 @@ class ExecutionBackend(abc.ABC):
         """This backend's capability/overhead descriptor (see :class:`BackendTraits`)."""
         return BackendTraits(name=self.name)
 
+    def shipping_bytes(self, batch: OracleBatch) -> int:
+        """Payload bytes executing ``batch`` would move out of this process.
+
+        In-process backends move nothing.  The process backend estimates the
+        not-yet-published share of the batch's kernel payload so the planner
+        can price shm/pickle publication explicitly (wide matrix-backed
+        rounds pay it on their first shipment only — repeated rounds against
+        the same arrays ship just query indices).
+        """
+        return 0
+
     # ------------------------------------------------------------------ #
     def _dispatch(self, batch: OracleBatch, tracker: Tracker) -> _DispatchReturn:
         if batch.kind == "counting":
@@ -376,22 +387,45 @@ def _pin_worker_blas_threads() -> None:
         os.environ.setdefault(var, "1")
 
 
+def _worker_new_arrays(payload: BatchPayload, distribution) -> Dict[str, np.ndarray]:
+    """Payload arrays ``distribution`` materialized that the parent never shipped.
+
+    The write-back half of the :meth:`~repro.engine.batch.OracleBatch.to_payload`
+    contract: re-describing the (now answered) distribution through
+    ``worker_payload()`` exposes every lazily derived artifact, and the names
+    missing from the shipped spec are exactly what the parent is still cold
+    on.  A warm parent ships everything, so this returns ``{}`` — zero
+    steady-state overhead.
+    """
+    if payload.spec is None:
+        return {}
+    described = distribution.worker_payload()
+    if described is None:
+        return {}
+    arrays, _params = described
+    shipped = set(payload.spec["arrays"])
+    return {name: np.asarray(value) for name, value in arrays.items()
+            if name not in shipped}
+
+
 def _process_worker_run(payload: BatchPayload,
-                        subsets: Sequence) -> Tuple[np.ndarray, float, int]:
+                        subsets: Sequence) -> Tuple[np.ndarray, float, int, Dict[str, np.ndarray]]:
     """Answer one chunk of a shipped batch inside a worker process.
 
     Runs under a private tracker — built from the parent's shipped
     :class:`~repro.pram.cost.CostModel` when one travels with the payload,
     so work parity holds under custom models — and returns ``(values, work,
-    oracle_calls)`` so the parent can merge PRAM accounting exactly like the
-    thread backend merges its child trackers.  Kernels arrive as
-    shared-memory refs and are rebuilt once per process (see
-    :mod:`repro.engine.shm`).
+    oracle_calls, new_arrays)`` so the parent can merge PRAM accounting
+    exactly like the thread backend merges its child trackers and absorb
+    worker-materialized artifacts (``new_arrays``; empty unless the payload
+    asks with ``want_artifacts``).  Kernels arrive as shared-memory refs and
+    are rebuilt once per process (see :mod:`repro.engine.shm`).
     """
     from repro.engine.shm import attach_shared_array
 
     chunk = tuple(tuple(s) for s in subsets)
     child = Tracker(payload.cost_model) if payload.cost_model is not None else Tracker()
+    new_arrays: Dict[str, np.ndarray] = {}
     with use_tracker(child):
         if payload.kind == "log_principal_minors":
             matrix = attach_shared_array(payload.matrix)
@@ -402,7 +436,9 @@ def _process_worker_run(payload: BatchPayload,
             while len(_worker_distributions) > _WORKER_DISTRIBUTION_CAPACITY:
                 _worker_distributions.popitem(last=False)
             values = np.asarray(distribution.counting_batch(list(chunk)), dtype=float)
-    return np.asarray(values, dtype=float), child.work, child.oracle_calls
+            if payload.want_artifacts:
+                new_arrays = _worker_new_arrays(payload, distribution)
+    return np.asarray(values, dtype=float), child.work, child.oracle_calls, new_arrays
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -437,9 +473,13 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process"
 
+    #: bound on the remembered already-shipped array identities
+    SHIPPED_MEMO_CAPACITY = 256
+
     def __init__(self, max_workers: Optional[int] = None, *,
                  chunk_size: Optional[int] = None, start_method: str = "spawn",
-                 shm_capacity: int = 64, pin_blas_threads: bool = True):
+                 shm_capacity: int = 64, pin_blas_threads: bool = True,
+                 write_back: bool = True, artifact_cache=None):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         if chunk_size is not None and chunk_size < 1:
@@ -449,6 +489,15 @@ class ProcessPoolBackend(ExecutionBackend):
         self.start_method = start_method
         self.shm_capacity = int(shm_capacity)
         self.pin_blas_threads = bool(pin_blas_threads)
+        #: ship worker-materialized artifacts back and absorb them into the
+        #: parent's distribution objects (see ``absorb_worker_arrays``)
+        self.write_back = bool(write_back)
+        #: optional :class:`~repro.service.cache.FactorizationCache`-like
+        #: object (anything with ``factorization(matrix).seed(name, value)``)
+        #: that written-back artifacts additionally warm, keyed by kernel
+        #: content — so the expensive eigendecompositions workers computed
+        #: outlive the distribution object that triggered them
+        self.artifact_cache = artifact_cache
         self._lock = threading.Lock()
         self._pool = None
         self._store = None
@@ -456,6 +505,9 @@ class ProcessPoolBackend(ExecutionBackend):
         self._degraded: Optional[str] = None  # reason, once permanently degraded
         self._broken_pools = 0  # consecutive pool deaths; bounded rebuild retries
         self._warned_specs: set = set()
+        #: ``id -> weakref`` memo of arrays already published to workers,
+        #: behind the planner-facing :meth:`shipping_bytes` estimate
+        self._shipped: "OrderedDict[int, object]" = OrderedDict()
         self._atexit_registered = False
 
     @property
@@ -516,6 +568,9 @@ class ProcessPoolBackend(ExecutionBackend):
         with self._lock:
             pool, self._pool = self._pool, None
             store, self._store = self._store, None
+            # every published segment is about to be unlinked: forgetting the
+            # memo keeps shipping_bytes() honest about full republication
+            self._shipped.clear()
         if pool is not None:
             pool.shutdown(wait=True)
         if store is not None:
@@ -532,6 +587,58 @@ class ProcessPoolBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     # shipping
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _payload_arrays(batch: OracleBatch) -> List[np.ndarray]:
+        """The heavy arrays shipping ``batch`` would publish (best effort)."""
+        arrays: List[np.ndarray] = []
+        if batch.matrix is not None:
+            arrays.append(batch.matrix)
+        if batch.distribution is not None:
+            try:
+                described = batch.distribution.worker_payload()
+            except Exception:
+                described = None
+            if described is not None:
+                arrays.extend(described[0].values())
+            else:
+                matrix = getattr(batch.distribution, "L", None)
+                if isinstance(matrix, np.ndarray):
+                    arrays.append(matrix)  # pickled whole; L dominates
+        return arrays
+
+    def shipping_bytes(self, batch: OracleBatch) -> int:
+        """Bytes of ``batch``'s payload not yet published to this backend.
+
+        The shm store ships each distinct array once, so only arrays this
+        backend has never shipped count; repeated rounds against the same
+        kernel objects estimate (correctly) as free.  The planner multiplies
+        this by the calibrated per-byte shipping coefficient to price very
+        wide matrix-backed rounds honestly.
+        """
+        total = 0
+        with self._lock:
+            for array in self._payload_arrays(batch):
+                ref = self._shipped.get(id(array))
+                if ref is None or ref() is not array:
+                    total += int(np.asarray(array).nbytes)
+        return total
+
+    def _mark_shipped(self, batch: OracleBatch) -> None:
+        import weakref
+
+        # the memo may not outlive the shm store's own LRU: once the store
+        # evicts a segment the array must count as unpublished again, so the
+        # memo is bounded by the store's capacity (FIFO approximates its LRU)
+        bound = min(self.SHIPPED_MEMO_CAPACITY, self.shm_capacity)
+        with self._lock:
+            for array in self._payload_arrays(batch):
+                try:
+                    self._shipped[id(array)] = weakref.ref(array)
+                except TypeError:  # pragma: no cover - non-weakrefable token
+                    continue
+            while len(self._shipped) > bound:
+                self._shipped.popitem(last=False)
+
     def _payload(self, batch: OracleBatch,
                  tracker: Optional[Tracker] = None) -> Optional[BatchPayload]:
         """Shippable payload for ``batch``, or ``None`` to fall back.
@@ -552,8 +659,11 @@ class ProcessPoolBackend(ExecutionBackend):
         if tracker is not None and tracker.cost_model is not DEFAULT_COST_MODEL:
             cost_model = tracker.cost_model
         try:
-            return batch.to_payload(publish=self._ensure_store().publish,
-                                    cost_model=cost_model)
+            payload = batch.to_payload(publish=self._ensure_store().publish,
+                                       cost_model=cost_model,
+                                       want_artifacts=self.write_back)
+            self._mark_shipped(batch)
+            return payload
         except Exception as exc:
             kind = type(batch.distribution).__name__ if batch.distribution is not None else "matrix"
             if kind not in self._warned_specs:
@@ -565,12 +675,18 @@ class ProcessPoolBackend(ExecutionBackend):
             return None
 
     def _fan_out(self, payload: BatchPayload, subsets: Sequence,
-                 tracker: Tracker) -> Optional[np.ndarray]:
+                 tracker: Tracker) -> Optional[Tuple[np.ndarray, Dict[str, np.ndarray]]]:
         """Chunked worker execution; ``None`` on failure (caller falls back).
 
-        Worker charges are committed to ``tracker`` only after every chunk
-        succeeds — a mid-batch failure must not leave partial charges behind,
-        or the vectorized fallback would double-charge the round's work.
+        Returns the concatenated values plus any worker-materialized
+        write-back arrays, merged across chunks (chunks with different
+        subset sizes exercise different oracle routes and therefore
+        materialize *different* artifact sets — a normalizer-only chunk
+        returns the spectrum, a conditioned chunk the PSD factor; first
+        value per name wins, equal-content duplicates are dropped).  Worker
+        charges are committed to ``tracker`` only after every chunk succeeds
+        — a mid-batch failure must not leave partial charges behind, or the
+        vectorized fallback would double-charge the round's work.
         """
         from concurrent.futures.process import BrokenProcessPool
         from dataclasses import replace
@@ -585,11 +701,14 @@ class ProcessPoolBackend(ExecutionBackend):
             parts: List[np.ndarray] = []
             total_work = 0.0
             total_calls = 0
+            artifacts: Dict[str, np.ndarray] = {}
             for future in futures:
-                values, work, oracle_calls = future.result()
+                values, work, oracle_calls, new_arrays = future.result()
                 parts.append(values)
                 total_work += work
                 total_calls += oracle_calls
+                for name, value in new_arrays.items():
+                    artifacts.setdefault(name, value)
         except BrokenProcessPool as exc:
             # the pool is dead, but a fresh one may be fine (e.g. one worker
             # OOM-killed): rebuild on the next batch, degrading permanently
@@ -624,7 +743,35 @@ class ProcessPoolBackend(ExecutionBackend):
         with self._lock:
             self._broken_pools = 0  # a full batch succeeded: reset the budget
         tracker.charge(work=total_work, oracle_calls=total_calls)
-        return np.concatenate(parts) if parts else np.empty(0, dtype=float)
+        values = np.concatenate(parts) if parts else np.empty(0, dtype=float)
+        return values, artifacts
+
+    def _absorb_artifacts(self, batch: OracleBatch,
+                          artifacts: Dict[str, np.ndarray]) -> None:
+        """Install worker write-back arrays on the parent side.
+
+        The distribution object absorbs them directly (its next normalizer
+        query, planner re-route, or payload shipment is warm), and when an
+        ``artifact_cache`` is configured the arrays also seed the
+        factorization entry for the distribution's ensemble matrix — under
+        the distribution's own ``artifact_cache_key()``, i.e. the same
+        kind-tagged fingerprint :meth:`KernelRegistry.register` derives, so
+        the serving layer's sessions actually *hit* the seeded entry.
+        Warming therefore outlives the distribution object.
+        """
+        distribution = batch.distribution
+        if distribution is None or not artifacts:
+            return
+        distribution.absorb_worker_arrays(artifacts)
+        cache = self.artifact_cache
+        if cache is None:
+            return
+        key = distribution.artifact_cache_key()
+        matrix = getattr(distribution, "L", None)
+        if key is not None and isinstance(matrix, np.ndarray) and matrix.ndim == 2:
+            factorization = cache.factorization(matrix, fingerprint=key)
+            for name, value in artifacts.items():
+                factorization.seed(name, value)
 
     # ------------------------------------------------------------------ #
     # batch kinds (one shared skeleton: ship, fan out, or fall back whole)
@@ -640,8 +787,10 @@ class ProcessPoolBackend(ExecutionBackend):
             return np.empty(0, dtype=float)
         payload = self._payload(batch, tracker)
         if payload is not None:
-            values = self._fan_out(payload, batch.subsets, tracker)
-            if values is not None:
+            answered = self._fan_out(payload, batch.subsets, tracker)
+            if answered is not None:
+                values, artifacts = answered
+                self._absorb_artifacts(batch, artifacts)
                 return finish(values) if finish is not None else values
         return fallback(batch, tracker)
 

@@ -225,7 +225,8 @@ class RoundPlanner:
         estimates: Dict[str, float] = {}
         for name in self.candidates:
             try:
-                traits = self._backend(name).traits()
+                backend = self._backend(name)
+                traits = backend.traits()
             except Exception:
                 continue  # unknown/unconstructible candidate: skip it
             lanes = max(1, min(traits.parallelism, queries))
@@ -256,6 +257,18 @@ class RoundPlanner:
                                      if traits.scalar_loop else 0.0)
             cost += self._overhead(name, traits, single_lane)
             cost += queries * traits.per_query_overhead_s
+            if traits.escapes_gil:
+                # out-of-process execution publishes the batch's payload:
+                # charge the calibrated per-byte shipping coefficient for the
+                # not-yet-published share (the backend's shm store ships each
+                # distinct array once, so warm kernels estimate as free and
+                # only very wide first-shipment rounds pay real seconds here)
+                shipping = getattr(backend, "shipping_bytes", None)
+                if shipping is not None:
+                    try:
+                        cost += model.shipping_seconds(shipping(batch))
+                    except Exception:
+                        pass  # estimation must never fail a round
             estimates[name] = cost
         return estimates
 

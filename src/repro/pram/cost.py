@@ -108,7 +108,11 @@ class WallClockCoefficients:
 
     ``seconds_per_flop_unit`` prices one unit of :meth:`CostModel`
     determinant work executed inside LAPACK; ``seconds_per_python_unit``
-    prices the same unit executed as GIL-bound interpreted Python.  Both are
+    prices the same unit executed as GIL-bound interpreted Python;
+    ``seconds_per_shipped_byte`` prices moving one payload byte out of
+    process (content fingerprint + shared-memory copy, the dominant costs of
+    :meth:`repro.engine.shm.SharedArrayStore.publish`) so wide matrix-backed
+    rounds charge their first-shipment publication explicitly.  All are
     measured by :func:`calibrate_wall_clock` (microbenchmarks, once per
     process) — the absolute values are crude, but routing decisions only
     need the *ratios* between backends to be roughly right, and those are
@@ -117,6 +121,7 @@ class WallClockCoefficients:
 
     seconds_per_flop_unit: float = 2e-9
     seconds_per_python_unit: float = 2e-7
+    seconds_per_shipped_byte: float = 1e-9
 
 
 @dataclass(frozen=True)
@@ -168,6 +173,10 @@ class CalibratedCostModel(CostModel):
         """Estimated seconds of the batch's GIL-bound (Python-lane) share."""
         return self._python_work(hint, queries) * self.coefficients.seconds_per_python_unit
 
+    def shipping_seconds(self, nbytes: int) -> float:
+        """Estimated seconds to publish ``nbytes`` of payload out of process."""
+        return max(int(nbytes), 0) * self.coefficients.seconds_per_shipped_byte
+
 
 def _probe_flop_seconds_per_unit(model: CostModel, order: int = 48, repeats: int = 3) -> float:
     """Seconds per determinant-work unit through one LAPACK factorization."""
@@ -203,6 +212,30 @@ def _probe_python_seconds_per_unit(model: CostModel, order: int = 24, repeats: i
     return max(best, 1e-9) / model.determinant_work(order)
 
 
+def _probe_ship_seconds_per_byte(nbytes: int = 1 << 18, repeats: int = 3) -> float:
+    """Seconds per byte of one out-of-process payload publication.
+
+    Publication = content fingerprint (SHA-256 over the raw bytes) + one
+    copy into the shared-memory segment; the probe times exactly those two
+    operations on a ``nbytes`` buffer, so the coefficient tracks the real
+    :meth:`~repro.engine.shm.SharedArrayStore.publish` cost without touching
+    ``/dev/shm`` (which may be unavailable where calibration still runs).
+    """
+    import numpy as np
+
+    from repro.utils.fingerprint import array_fingerprint
+
+    buffer = np.zeros(nbytes // 8, dtype=float)
+    target = np.empty_like(buffer)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        array_fingerprint(buffer)
+        np.copyto(target, buffer)
+        best = min(best, time.perf_counter() - start)
+    return max(best, 1e-9) / buffer.nbytes
+
+
 #: per-process probe cache, keyed by the work exponent the probes were
 #: normalized under — coefficients measured for one schedule are meaningless
 #: for a model with a different ``determinant_exponent``
@@ -224,6 +257,7 @@ def calibrate_wall_clock(model: CostModel = DEFAULT_COST_MODEL, *,
         _CALIBRATED[key] = WallClockCoefficients(
             seconds_per_flop_unit=_probe_flop_seconds_per_unit(model),
             seconds_per_python_unit=_probe_python_seconds_per_unit(model),
+            seconds_per_shipped_byte=_probe_ship_seconds_per_byte(),
         )
     return _CALIBRATED[key]
 

@@ -34,7 +34,12 @@ import numpy as np
 
 from repro.engine import BackendLike
 from repro.service.cache import CacheStats, FactorizationCache, KernelFactorization
-from repro.service.registry import KERNEL_KINDS, KernelRegistry, RegisteredKernel
+from repro.service.registry import (
+    KERNEL_KINDS,
+    KernelRegistry,
+    RegisteredKernel,
+    kernel_fingerprint,
+)
 from repro.service.scheduler import RoundScheduler, SampleTicket
 from repro.service.session import SamplerSession
 
@@ -49,6 +54,7 @@ __all__ = [
     "SampleTicket",
     "SamplerSession",
     "default_registry",
+    "kernel_fingerprint",
     "serve",
 ]
 

@@ -21,7 +21,8 @@ one from the other.
 
 :class:`FactorizationCache` is the content-addressed store: artifacts are
 keyed by a SHA-256 fingerprint of the matrix bytes, entries are evicted LRU
-once ``capacity`` is exceeded, and :meth:`~FactorizationCache.invalidate`
+once ``capacity`` is exceeded, expire after an optional per-entry idle
+``ttl`` (swept lazily on access), and :meth:`~FactorizationCache.invalidate`
 drops an entry explicitly (e.g. after a workload retrains its kernel).  All
 operations are thread-safe; concurrent sessions serving the same kernel share
 one entry.
@@ -30,6 +31,7 @@ one entry.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -52,20 +54,22 @@ class CacheStats:
 
     ``evictions`` counts entries dropped by the LRU *entry-count* bound;
     ``size_evictions`` counts entries dropped by the *byte-budget* bound
-    (``max_bytes``) — the two are tracked separately so operators can tell
-    which limit is actually binding.
+    (``max_bytes``); ``expired`` counts entries reclaimed by the idle ``ttl``
+    — the three are tracked separately so operators can tell which limit is
+    actually binding.
     """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     size_evictions: int = 0
+    expired: int = 0
     invalidations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "size_evictions": self.size_evictions,
-                "invalidations": self.invalidations}
+                "expired": self.expired, "invalidations": self.invalidations}
 
 
 class KernelFactorization:
@@ -267,6 +271,42 @@ class KernelFactorization:
             raise ValueError(f"unknown kernel kind {kind!r}")
         return self
 
+    #: worker write-back array names accepted by :meth:`seed`, mapped to the
+    #: memo keys the lazy getters store under.  Only artifacts whose worker
+    #: routine is bit-identical to the lazy getter's routine are listed —
+    #: seeding anything else could silently change warm-path samples.
+    SEEDABLE_ARTIFACTS = {
+        "eigenvalues": "eigenvalues",
+        "factor": "factor",
+        "factor_gram": "factor_gram",
+        "kernel": "kernel",
+    }
+
+    def seed(self, name: str, value: np.ndarray) -> bool:
+        """Install a worker-materialized artifact under its memo key.
+
+        The process backend's artifact write-back
+        (:class:`~repro.engine.backends.ProcessPoolBackend` with an
+        ``artifact_cache``) calls this with arrays workers computed with the
+        *identical* routines the lazy getters run (the
+        :meth:`~repro.distributions.base.SubsetDistribution.worker_payload`
+        contract guarantees value equality), so warming through write-back
+        can never change a sample.  Unknown names and already-materialized
+        keys are ignored; returns ``True`` only when the value was stored.
+        """
+        key = self.SEEDABLE_ARTIFACTS.get(name)
+        if key is None:
+            return False
+        array = np.asarray(value, dtype=float)
+        if array.flags.writeable:
+            array = array.copy()
+            array.flags.writeable = False
+        with self._lock:
+            if key in self._values:
+                return False
+            self._values[key] = array
+            return True
+
     @property
     def nbytes(self) -> int:
         """Bytes held by materialized artifacts (excluding the matrix itself)."""
@@ -297,17 +337,32 @@ class FactorizationCache:
     ``nbytes``): because artifacts materialize lazily, the budget is
     enforced at every lookup rather than at write time — least-recently-used
     entries are dropped until the rest fit, always keeping at least the
-    entry being returned.  Entry-count and byte-budget evictions are counted
-    separately (see :class:`CacheStats` / :meth:`cache_info`).
+    entry being returned.  ``ttl`` adds idle expiry: an entry untouched for
+    ``ttl`` seconds is reclaimed by a lazy sweep running inside ordinary
+    cache operations (no background thread), with per-entry overrides via
+    ``factorization(..., ttl=...)`` — this is what keeps a long-running shard
+    node serving churning kernels from pinning stale eigendecompositions
+    until LRU pressure happens to reach them.  Entry-count, byte-budget and
+    TTL reclamations are counted separately (see :class:`CacheStats` /
+    :meth:`cache_info`).
     """
 
-    def __init__(self, capacity: int = 32, *, max_bytes: Optional[int] = None):
+    #: sentinel distinguishing "no per-entry ttl given" from an explicit None
+    _TTL_UNSET = object()
+
+    def __init__(self, capacity: int = 32, *, max_bytes: Optional[int] = None,
+                 ttl: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
         if capacity < 0:
             raise ValueError(f"capacity must be nonnegative, got {capacity}")
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be nonnegative, got {max_bytes}")
+        if ttl is not None and ttl < 0:
+            raise ValueError(f"ttl must be nonnegative, got {ttl}")
         self.capacity = int(capacity)
         self.max_bytes = int(max_bytes) if max_bytes is not None else None
+        self.ttl = float(ttl) if ttl is not None else None
+        self._clock = clock
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, KernelFactorization]" = OrderedDict()
         #: running artifact-byte total: one entry's nbytes is re-read per
@@ -315,19 +370,30 @@ class FactorizationCache:
         #: so byte-budget enforcement never rescans the whole cache
         self._sizes: Dict[str, int] = {}
         self._total_bytes = 0
+        #: per-entry idle lifetime (defaults to ``self.ttl``) + last touch
+        self._ttls: Dict[str, Optional[float]] = {}
+        self._touched: Dict[str, float] = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
     def factorization(self, matrix: np.ndarray, *,
-                      fingerprint: Optional[str] = None) -> KernelFactorization:
-        """Get-or-create the factorization for ``matrix`` (LRU touch)."""
+                      fingerprint: Optional[str] = None,
+                      ttl: object = _TTL_UNSET) -> KernelFactorization:
+        """Get-or-create the factorization for ``matrix`` (LRU touch).
+
+        ``ttl`` overrides the cache-level idle lifetime for this entry
+        (``None`` disables expiry for it); passing it on a hit re-arms the
+        entry with the new lifetime.
+        """
         key = fingerprint if fingerprint is not None else array_fingerprint(
             np.asarray(matrix, dtype=float))
         with self._lock:
+            self._sweep_locked()
             entry = self._entries.get(key)
             if entry is not None:
                 self.stats.hits += 1
                 self._entries.move_to_end(key)
+                self._touch_locked(key, ttl)
                 self._note_size_locked(key, entry)
                 self._enforce_byte_budget_locked()
                 return entry
@@ -335,12 +401,52 @@ class FactorizationCache:
             entry = KernelFactorization(matrix, fingerprint=key)
             if self.capacity > 0:
                 self._entries[key] = entry
+                self._touch_locked(key, ttl)
                 self._note_size_locked(key, entry)
                 while len(self._entries) > self.capacity:
                     self._drop_lru_locked()
                     self.stats.evictions += 1
                 self._enforce_byte_budget_locked()
             return entry
+
+    # ------------------------------------------------------------------ #
+    # idle-TTL expiry
+    # ------------------------------------------------------------------ #
+    def _touch_locked(self, key: str, ttl: object = _TTL_UNSET) -> None:
+        self._touched[key] = self._clock()
+        if ttl is not self._TTL_UNSET:
+            self._ttls[key] = float(ttl) if ttl is not None else None  # type: ignore[arg-type]
+        elif key not in self._ttls:
+            self._ttls[key] = self.ttl
+
+    def sweep(self) -> int:
+        """Drop entries idle past their ttl; returns how many were reclaimed.
+
+        Sweeps also run lazily inside :meth:`factorization` and
+        :meth:`cache_info` — this public form exists for explicit maintenance
+        ticks in long-running serving processes (shard nodes call it from
+        their stats path).
+        """
+        with self._lock:
+            return self._sweep_locked()
+
+    def _sweep_locked(self) -> int:
+        if not self._entries:
+            return 0
+        now = self._clock()
+        expired = [key for key in self._entries
+                   if self._ttls.get(key) is not None
+                   and now - self._touched.get(key, now) >= self._ttls[key]]
+        for key in expired:
+            del self._entries[key]
+            self._forget_locked(key)
+            self.stats.expired += 1
+        return len(expired)
+
+    def _forget_locked(self, key: str) -> None:
+        self._total_bytes -= self._sizes.pop(key, 0)
+        self._ttls.pop(key, None)
+        self._touched.pop(key, None)
 
     def _note_size_locked(self, key: str, entry: KernelFactorization) -> None:
         """Refresh the running byte total with the touched entry's size."""
@@ -352,7 +458,7 @@ class FactorizationCache:
 
     def _drop_lru_locked(self) -> str:
         key, _ = self._entries.popitem(last=False)
-        self._total_bytes -= self._sizes.pop(key, 0)
+        self._forget_locked(key)
         return key
 
     def _enforce_byte_budget_locked(self) -> None:
@@ -374,11 +480,13 @@ class FactorizationCache:
     def cache_info(self) -> Dict[str, object]:
         """One-call diagnostic snapshot: bounds, occupancy, and counters."""
         with self._lock:
+            self._sweep_locked()
             entries = list(self._entries.values())
             info: Dict[str, object] = {
                 "entries": len(entries),
                 "capacity": self.capacity,
                 "max_bytes": self.max_bytes,
+                "ttl": self.ttl,
                 "nbytes": sum(entry.nbytes for entry in entries),
             }
             info.update(self.stats.as_dict())
@@ -391,7 +499,7 @@ class FactorizationCache:
         with self._lock:
             if key in self._entries:
                 del self._entries[key]
-                self._total_bytes -= self._sizes.pop(key, 0)
+                self._forget_locked(key)
                 self.stats.invalidations += 1
                 return True
             return False
@@ -402,6 +510,8 @@ class FactorizationCache:
             self.stats.invalidations += len(self._entries)
             self._entries.clear()
             self._sizes.clear()
+            self._ttls.clear()
+            self._touched.clear()
             self._total_bytes = 0
 
     # ------------------------------------------------------------------ #

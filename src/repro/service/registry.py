@@ -28,9 +28,9 @@ import numpy as np
 
 from repro.dpp.kernels import validate_ensemble
 from repro.service.cache import FactorizationCache
-from repro.utils.fingerprint import array_fingerprint
+from repro.utils.fingerprint import kernel_fingerprint, partition_keys
 
-__all__ = ["KERNEL_KINDS", "RegisteredKernel", "KernelRegistry"]
+__all__ = ["KERNEL_KINDS", "RegisteredKernel", "KernelRegistry", "kernel_fingerprint"]
 
 #: distribution families the serving layer understands
 KERNEL_KINDS = ("symmetric", "nonsymmetric", "partition")
@@ -123,11 +123,8 @@ class KernelRegistry:
         a = np.array(matrix, dtype=float, copy=True)
         if validate:
             validate_ensemble(a, symmetric=(kind != "nonsymmetric"))
-        parts_key = None
-        counts_key = None
+        parts_key, counts_key = partition_keys(parts, counts)
         if kind == "partition":
-            parts_key = tuple(tuple(sorted(int(i) for i in part)) for part in parts)
-            counts_key = tuple(int(c) for c in counts)
             if validate:
                 # structural checks (disjointness, coverage, feasible counts)
                 # without paying the interpolation-grid normalizer here — the
@@ -135,7 +132,10 @@ class KernelRegistry:
                 from repro.dpp.partition import PartitionDPP
                 PartitionDPP(a, parts_key, counts_key, validate=False)
         a.flags.writeable = False
-        fingerprint = array_fingerprint(a, extra=(kind, parts_key, counts_key))
+        # the single shared derivation (utils/fingerprint.kernel_fingerprint):
+        # cluster clients route by this key before any node recomputes it
+        fingerprint = kernel_fingerprint(a, kind=kind, parts=parts_key,
+                                         counts=counts_key)
 
         if warm and self.cache.capacity == 0:
             # a capacity-0 cache stores nothing: warming would compute the
@@ -304,6 +304,27 @@ class KernelRegistry:
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._entries)
+
+    def registry_info(self) -> Dict[str, object]:
+        """One-call snapshot of this registry for serving-layer diagnostics.
+
+        Rolls the shared cache's :meth:`~repro.service.cache.FactorizationCache.cache_info`
+        together with the registration census — the per-node payload that
+        ``repro.cluster``'s ``cluster_info()`` aggregates across shards.
+        """
+        with self._lock:
+            kernels = [
+                {"name": entry.name, "kind": entry.kind, "n": entry.n,
+                 "fingerprint": entry.fingerprint,
+                 "ephemeral": name in self._ephemeral}
+                for name, entry in sorted(self._entries.items())
+            ]
+        return {
+            "kernels": kernels,
+            "registered": len(kernels),
+            "ephemeral": sum(1 for k in kernels if k["ephemeral"]),
+            "cache": self.cache.cache_info(),
+        }
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

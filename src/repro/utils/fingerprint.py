@@ -41,3 +41,34 @@ def matrix_fingerprint(matrix: np.ndarray, *, kind: str = "matrix",
     """Fingerprint of one kernel matrix tagged with its distribution kind."""
     return array_fingerprint(np.asarray(matrix, dtype=float),
                              extra=(kind, *tuple(params or ())))
+
+
+def partition_keys(parts: Optional[Iterable] = None,
+                   counts: Optional[Iterable] = None):
+    """Canonical (hashable) forms of a partition kernel's structure.
+
+    Part order and within-part element order do not change the distribution,
+    so they must not change the fingerprint either — elements are sorted
+    per part before hashing.
+    """
+    parts_key = (tuple(tuple(sorted(int(i) for i in part)) for part in parts)
+                 if parts is not None else None)
+    counts_key = tuple(int(c) for c in counts) if counts is not None else None
+    return parts_key, counts_key
+
+
+def kernel_fingerprint(matrix: np.ndarray, *, kind: str = "symmetric",
+                       parts: Optional[Iterable] = None,
+                       counts: Optional[Iterable] = None) -> str:
+    """The registry/cluster content key of one kernel: matrix + structure.
+
+    This single derivation is shared by
+    :meth:`repro.service.registry.KernelRegistry.register` (which keys the
+    factorization cache with it) and the cluster layer's
+    :class:`~repro.cluster.ring.HashRing` routing (which must agree with the
+    owning node's registry *before* talking to it) — two implementations
+    drifting apart would silently break placement.
+    """
+    parts_key, counts_key = partition_keys(parts, counts)
+    return array_fingerprint(np.asarray(matrix, dtype=float),
+                             extra=(kind, parts_key, counts_key))

@@ -48,14 +48,14 @@ def spawn_generators(seed: SeedLike, count: int) -> list:
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 
-def substream(seed: SeedLike, index: int) -> np.random.Generator:
-    """Deterministic, addressable child stream ``index`` of a root seed.
+def substream_seed(seed: SeedLike, index: int) -> np.random.SeedSequence:
+    """The (picklable) seed of child stream ``index`` of a root seed.
 
-    Unlike :func:`spawn_generators` (which must materialize all children up
-    front), ``substream(root, i)`` can be evaluated independently per request
-    and always yields ``SeedSequence(root).spawn(i + 1)[i]`` — the serving
-    layer uses this to give each concurrently submitted sample request its own
-    stream so fused execution order never changes any request's draws.
+    This is :func:`substream`'s derivation without the generator around it —
+    the single definition both the local :class:`~repro.service.scheduler.RoundScheduler`
+    (via :func:`substream`) and the cluster session's wire-shipped request
+    seeds rely on; if the derivation ever changed in one place only, fused
+    cluster drains would silently stop being byte-identical to local ones.
     """
     if index < 0:
         raise ValueError(f"index must be nonnegative, got {index}")
@@ -65,8 +65,19 @@ def substream(seed: SeedLike, index: int) -> np.random.Generator:
             f"got {type(seed).__name__} which would not be re-derivable"
         )
     seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-    child = np.random.SeedSequence(
+    return np.random.SeedSequence(
         entropy=seq.entropy,
         spawn_key=tuple(seq.spawn_key) + (index,),
     )
-    return np.random.default_rng(child)
+
+
+def substream(seed: SeedLike, index: int) -> np.random.Generator:
+    """Deterministic, addressable child stream ``index`` of a root seed.
+
+    Unlike :func:`spawn_generators` (which must materialize all children up
+    front), ``substream(root, i)`` can be evaluated independently per request
+    and always yields ``SeedSequence(root).spawn(i + 1)[i]`` — the serving
+    layer uses this to give each concurrently submitted sample request its own
+    stream so fused execution order never changes any request's draws.
+    """
+    return np.random.default_rng(substream_seed(seed, index))

@@ -384,3 +384,79 @@ class TestProcessBackendSatellites:
         # fell back in-process (same tracker): either way the custom
         # exponent prices every determinant
         assert shipped.work == pytest.approx(reference.work)
+
+
+# ---------------------------------------------------------------------- #
+# the per-byte shipping coefficient (payload-publication pricing)
+# ---------------------------------------------------------------------- #
+class TestShippingCoefficient:
+    def test_shipping_seconds_prices_bytes_linearly(self):
+        model = CalibratedCostModel(coefficients=WallClockCoefficients(
+            seconds_per_shipped_byte=1e-6))
+        assert model.shipping_seconds(1000) == pytest.approx(1e-3)
+        assert model.shipping_seconds(0) == 0.0
+        assert model.shipping_seconds(-5) == 0.0
+
+    def test_calibration_measures_a_positive_coefficient(self):
+        coefficients = calibrate_wall_clock()
+        assert coefficients.seconds_per_shipped_byte > 0.0
+        # sanity decade: publication cannot plausibly be slower than 1 ms/KB
+        assert coefficients.seconds_per_shipped_byte < 1e-6
+
+    def test_first_shipment_penalty_keeps_wide_rounds_in_process(self, partition_dpp):
+        class _ShippingProcess(_FakeProcess):
+            """Process-shaped backend reporting a huge unpublished payload."""
+
+            def shipping_bytes(self, batch):
+                return 1 << 30
+
+        shipping_model = CalibratedCostModel(coefficients=WallClockCoefficients(
+            seconds_per_flop_unit=1e-9, seconds_per_python_unit=1e-6,
+            seconds_per_shipped_byte=1e-6))
+        subsets = [(i % partition_dpp.n,) for i in range(400)]
+        batch = OracleBatch.counting(partition_dpp, subsets)
+        # without the penalty this batch routes to process (see
+        # test_large_python_bound_round_goes_to_process)...
+        assert _make_planner().choose(batch).name == "process"
+        # ...with a 1 GiB unpublished payload priced at 1 µs/byte it cannot
+        planner = _make_planner(backends={
+            "vectorized": VectorizedBackend(),
+            "threads": _FakeThreads(),
+            "process": _ShippingProcess(),
+        })
+        planner._calibrated = shipping_model
+        assert planner.choose(batch).name != "process"
+        estimates = planner.last_decision.estimates
+        assert estimates["process"] > 1000.0  # the publication term dominates
+
+    def test_already_published_payloads_are_free(self, partition_dpp):
+        # the stub inherits shipping_bytes() == 0, so with an explicit zero
+        # payload the penalty vanishes and the process route wins again
+        planner = _make_planner()
+        subsets = [(i % partition_dpp.n,) for i in range(400)]
+        batch = OracleBatch.counting(partition_dpp, subsets)
+        assert planner.choose(batch).name == "process"
+        assert planner.last_decision.estimates["process"] < \
+            planner.last_decision.estimates["vectorized"]
+
+    def test_process_backend_estimates_unpublished_bytes(self, small_kdpp):
+        backend = ProcessPoolBackend(max_workers=1)
+        matrix = np.eye(20)
+        batch = OracleBatch.log_principal_minors(matrix, [(0,), (1,)])
+        assert backend.shipping_bytes(batch) == matrix.nbytes
+        backend._mark_shipped(batch)
+        assert backend.shipping_bytes(batch) == 0  # same object: already shipped
+        other = OracleBatch.log_principal_minors(np.eye(20), [(0,)])
+        assert backend.shipping_bytes(other) == other.matrix.nbytes  # new object
+
+    def test_distribution_payload_bytes_track_warm_artifacts(self):
+        kdpp = SymmetricKDPP(random_psd_ensemble(12, seed=0), 4, validate=False)
+        backend = ProcessPoolBackend(max_workers=1)
+        batch = OracleBatch.counting(kdpp, [(0,)])
+        cold_bytes = backend.shipping_bytes(batch)
+        assert cold_bytes >= kdpp.L.nbytes
+        kdpp.factor_gram  # warming enlarges the payload...
+        warm_bytes = backend.shipping_bytes(batch)
+        assert warm_bytes > cold_bytes
+        backend._mark_shipped(batch)  # ...until it has shipped once
+        assert backend.shipping_bytes(batch) == 0
