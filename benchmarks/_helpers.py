@@ -8,9 +8,57 @@ see EXPERIMENTS.md) and also stores the key numbers in
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
+
+#: Default landing spot for the cross-run trajectory: one JSON line per bench
+#: report, appended on every run, next to this file's parent (the repo root).
+TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                               "BENCH_trajectory.json")
+
+
+def append_trajectory(reports: Union[Dict, Sequence[Dict]],
+                      path: Optional[str] = None) -> str:
+    """Append one JSON line per report to the shared ``BENCH_trajectory.json``.
+
+    Every benchmark's machine-readable report lands in a single append-only
+    JSON-lines file so speed/memory numbers can be compared across commits
+    without hunting per-script artifacts.  Override the destination with
+    ``path=`` or the ``BENCH_TRAJECTORY`` environment variable (the empty
+    string disables appending — useful for throwaway local runs).
+    """
+    if isinstance(reports, dict):
+        reports = [reports]
+    destination = path if path is not None else os.environ.get("BENCH_TRAJECTORY",
+                                                               TRAJECTORY_PATH)
+    if destination:
+        with open(destination, "a") as handle:
+            for report in reports:
+                handle.write(json.dumps(report) + "\n")
+    return destination
+
+
+def emit_reports(reports: Union[Dict, Sequence[Dict]],
+                 output: Optional[str] = None) -> None:
+    """Print each report as a JSON line, mirror to ``output``, log trajectory.
+
+    The shared tail of every benchmark ``main()``: stdout gets the JSON lines
+    (CI greps them), ``output`` (usually ``sys.argv[1]``) gets the same lines
+    as the uploaded artifact, and :func:`append_trajectory` accumulates them
+    in the cross-run trajectory file.
+    """
+    if isinstance(reports, dict):
+        reports = [reports]
+    lines = [json.dumps(report) for report in reports]
+    for line in lines:
+        print(line)
+    if output:
+        with open(output, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+    append_trajectory(reports)
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:

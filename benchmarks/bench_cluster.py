@@ -31,6 +31,7 @@ import numpy as np
 import pytest
 
 import repro
+from _helpers import emit_reports
 from repro.cluster import HashRing, LocalCluster
 from repro.workloads import random_psd_ensemble
 
@@ -155,11 +156,7 @@ def main() -> int:
         if result["warm_speedup"] >= 2.0:
             break
         result = cluster_report()
-    line = json.dumps(result)
-    print(line)
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as handle:
-            handle.write(line + "\n")
+    emit_reports(result, sys.argv[1] if len(sys.argv) > 1 else None)
     return 0 if _gates(result) else 1
 
 

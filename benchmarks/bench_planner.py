@@ -35,7 +35,7 @@ import numpy as np
 import pytest
 
 import repro
-from _helpers import best_of
+from _helpers import best_of, emit_reports
 from repro.dpp.partition import PartitionDPP
 from repro.dpp.symmetric import SymmetricKDPP
 from repro.engine import (
@@ -200,12 +200,7 @@ def test_spectral_fusion_identity_and_speedup():
 def main() -> int:
     reports = planner_report()
     fusion = fusion_report()
-    lines = [json.dumps(report) for report in reports + [fusion]]
-    for line in lines:
-        print(line)
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as handle:
-            handle.write("\n".join(lines) + "\n")
+    emit_reports(reports + [fusion], sys.argv[1] if len(sys.argv) > 1 else None)
     ok = all(r["values_identical"] and r["within_tolerance"] for r in reports)
     if not fusion["values_identical"]:
         ok = False

@@ -28,7 +28,7 @@ from typing import Dict, List
 import numpy as np
 import pytest
 
-from _helpers import best_of
+from _helpers import best_of, emit_reports
 from repro.dpp.nonsymmetric import NonsymmetricKDPP
 from repro.dpp.partition import PartitionDPP
 from repro.engine import (
@@ -145,12 +145,7 @@ def test_process_backend_values_and_speedup(reports):
 
 def main() -> int:
     reports = process_backend_report()
-    lines = [json.dumps(report) for report in reports]
-    for line in lines:
-        print(line)
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as handle:
-            handle.write("\n".join(lines) + "\n")
+    emit_reports(reports, sys.argv[1] if len(sys.argv) > 1 else None)
     return 0 if all(_gate(report) for report in reports) else 1
 
 

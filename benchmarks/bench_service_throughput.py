@@ -29,6 +29,7 @@ import numpy as np
 import pytest
 
 import repro
+from _helpers import emit_reports
 from repro.dpp.spectral import sample_kdpp_spectral
 from repro.workloads import random_psd_ensemble
 
@@ -153,11 +154,7 @@ def main() -> int:
         if report["warm_speedup"] >= 3.0:
             break
         report = service_throughput_report()
-    line = json.dumps(report)
-    print(line)
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as handle:
-            handle.write(line + "\n")
+    emit_reports(report, sys.argv[1] if len(sys.argv) > 1 else None)
     ok = report["warm_sample_identical"] and report["warm_speedup"] >= 3.0
     return 0 if ok else 1
 

@@ -40,6 +40,13 @@ Cluster layer: :func:`repro.serve_cluster` shards the registry + cache across
 movement rebalance), returning a :class:`~repro.cluster.ClusterSession` with
 the same ``sample/warm/close`` surface and byte-identical fixed-seed samples.
 
+Sublinear tier: :class:`repro.LowRankKernel` holds an ``n x k`` factor ``B``
+for ``L = B Bᵀ`` and never materializes the ``n x n`` kernel;
+:func:`repro.sample_dpp_intermediate` / :func:`repro.sample_kdpp_intermediate`
+draw *exact* DPP / k-DPP samples through an ``O(k log k)``-sized intermediate
+candidate set (memory ``O(n·k)``), and ``repro.serve(LowRankKernel(B))`` /
+``serve_cluster(...)`` serve the factor with ``k``-sized cached artifacts.
+
 Substrates: :mod:`repro.dpp` (kernels, counting oracles),
 :mod:`repro.planar` (Kasteleyn counting, separators), :mod:`repro.linalg`
 (NC-style linear algebra, batched in :mod:`repro.linalg.batch`),
@@ -95,6 +102,8 @@ from repro.planar import (
     sample_planar_matching_parallel,
     sample_planar_matching_sequential,
 )
+from repro.distributions.lowrank import LowRankDPP, LowRankKDPP, LowRankKernel
+from repro.dpp.intermediate import sample_dpp_intermediate, sample_kdpp_intermediate
 from repro.pram import Tracker
 
 __version__ = "1.0.0"
@@ -147,5 +156,10 @@ __all__ = [
     "sequential_sample",
     "sample_planar_matching_parallel",
     "sample_planar_matching_sequential",
+    "LowRankDPP",
+    "LowRankKDPP",
+    "LowRankKernel",
+    "sample_dpp_intermediate",
+    "sample_kdpp_intermediate",
     "__version__",
 ]

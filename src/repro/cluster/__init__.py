@@ -62,7 +62,7 @@ __all__ = [
 ]
 
 
-def serve_cluster(kernel: Union[str, np.ndarray], *,
+def serve_cluster(kernel, *,
                   cluster: Optional[Union[LocalCluster, ClusterClient]] = None,
                   nodes: int = 3, replication: int = 1,
                   name: Optional[str] = None, kind: Optional[str] = None,
@@ -112,8 +112,17 @@ def serve_cluster(kernel: Union[str, np.ndarray], *,
             if warm:
                 client.warm(kernel)
         else:
+            from repro.distributions.lowrank import LowRankKernel
+
+            if isinstance(kernel, LowRankKernel):
+                if kind not in (None, "lowrank"):
+                    raise ValueError(
+                        f"a LowRankKernel serves as kind='lowrank', not {kind!r}")
+                kind, matrix = "lowrank", kernel.factor
+            else:
+                matrix = np.asarray(kernel, dtype=float)
             entry = client.register(
-                np.asarray(kernel, dtype=float), name=name,
+                matrix, name=name,
                 kind=kind if kind is not None else "symmetric",
                 parts=parts, counts=counts, warm=warm, validate=validate)
     except BaseException:

@@ -152,9 +152,22 @@ class ClusterClient:
         The fingerprint is computed client-side (it decides *where* to
         register) with the identical derivation the node's registry uses;
         registration succeeds if at least one owner accepted — down replicas
-        catch up on the next rebalance.
+        catch up on the next rebalance.  A
+        :class:`~repro.distributions.lowrank.LowRankKernel` registers its
+        ``n x k`` factor under ``kind="lowrank"`` — only ``n·k`` floats cross
+        the wire, and the owning shard caches ``k``-sized artifacts.
         """
-        matrix = np.asarray(matrix, dtype=float)
+        from repro.distributions.lowrank import LowRankKernel
+
+        if isinstance(matrix, LowRankKernel):
+            if kind == "symmetric":
+                kind = "lowrank"
+            if kind != "lowrank":
+                raise ClusterError(
+                    f"a LowRankKernel registers as kind='lowrank', not {kind!r}")
+            matrix = matrix.factor
+        matrix = np.ascontiguousarray(matrix, dtype=float) if kind == "lowrank" \
+            else np.asarray(matrix, dtype=float)
         fingerprint = kernel_fingerprint(matrix, kind=kind, parts=parts, counts=counts)
         if name is None:
             name = f"kernel-{fingerprint[:12]}"

@@ -33,8 +33,12 @@ from repro.distributions.negative_corr import (
 )
 from repro.distributions.isotropic import IsotropicTransform
 from repro.distributions.hard_instance import PairedHardInstance, duplicate_count
+from repro.distributions.lowrank import LowRankDPP, LowRankKDPP, LowRankKernel
 
 __all__ = [
+    "LowRankDPP",
+    "LowRankKDPP",
+    "LowRankKernel",
     "SubsetDistribution",
     "HomogeneousDistribution",
     "ExplicitDistribution",

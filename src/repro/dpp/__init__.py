@@ -39,8 +39,16 @@ from repro.dpp.spectral import (
 )
 from repro.dpp.elementary import dpp_size_distribution, kdpp_normalization
 from repro.dpp.exact import exact_dpp_distribution, exact_kdpp_distribution
+from repro.dpp.intermediate import (
+    lowrank_intermediate_basis,
+    sample_dpp_intermediate,
+    sample_kdpp_intermediate,
+)
 
 __all__ = [
+    "lowrank_intermediate_basis",
+    "sample_dpp_intermediate",
+    "sample_kdpp_intermediate",
     "ensemble_to_kernel",
     "kernel_to_ensemble",
     "validate_ensemble",

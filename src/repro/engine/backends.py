@@ -767,7 +767,11 @@ class ProcessPoolBackend(ExecutionBackend):
         if cache is None:
             return
         key = distribution.artifact_cache_key()
-        matrix = getattr(distribution, "L", None)
+        # factor-backed distributions cache under their (n, k) factor, dense
+        # ones under the ensemble matrix L — ask the distribution first
+        matrix = getattr(distribution, "artifact_cache_matrix", None)
+        if matrix is None:
+            matrix = getattr(distribution, "L", None)
         if key is not None and isinstance(matrix, np.ndarray) and matrix.ndim == 2:
             factorization = cache.factorization(matrix, fingerprint=key)
             for name, value in artifacts.items():

@@ -58,11 +58,17 @@ class OracleCostHint:
         NumPy calls (``True`` for the structured oracles) or falls back to
         the generic scalar loop (``False``), in which case the vectorized
         backend degenerates to the serial one.
+    rank:
+        When set, the oracle works on a rank-``rank`` factorization of the
+        ``matrix_order``-sized kernel rather than the dense matrix: a query
+        costs ``n·r² + r^ω`` work (reduce to the ``r x r`` dual Gram, then
+        factorize it) instead of ``n^ω``.  ``None`` means dense.
     """
 
     matrix_order: int
     python_fraction: float = 0.0
     batch_vectorized: bool = True
+    rank: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -139,33 +145,51 @@ class CalibratedCostModel(CostModel):
 
     coefficients: WallClockCoefficients = field(default_factory=WallClockCoefficients)
 
+    def _query_flop_unit(self, hint: OracleCostHint) -> float:
+        """Work units of one query's LAPACK lane under ``hint``'s structure.
+
+        Dense oracles pay the full ``n^ω`` determinant; a rank-``r``
+        factor-backed oracle pays ``n·r² + r^ω`` (reduce to the dual Gram,
+        factorize the ``r x r`` reduction) — the asymmetry that makes the
+        planner route huge-``n`` low-rank rounds as cheap ones.
+        """
+        if hint.rank is not None:
+            n = float(max(hint.matrix_order, 1))
+            r = max(int(hint.rank), 1)
+            return n * r * r + self.determinant_work(r)
+        return self.determinant_work(hint.matrix_order)
+
     def _python_work(self, hint: OracleCostHint, queries: int) -> float:
         """Work units of the batch's GIL-bound (interpreted Python) lane.
 
         When the batch oracle vectorizes, the interpreted share is the
         per-query bookkeeping around the stacked LAPACK calls — one order
-        below the determinant work, so it is priced at
-        ``matrix_order^(omega-1)``.  A non-vectorized (generic scalar-loop)
-        oracle keeps its full ``matrix_order^omega`` in the interpreter.
+        below the flop work, so it is priced at ``matrix_order^(omega-1)``
+        for dense oracles and ``matrix_order·rank`` for factor-backed ones.
+        A non-vectorized (generic scalar-loop) oracle keeps its full flop
+        unit in the interpreter.
         """
         fraction = min(max(hint.python_fraction, 0.0), 1.0)
         if hint.batch_vectorized:
-            exponent = max(self.determinant_exponent - 1.0, 1.0)
-            unit = float(max(hint.matrix_order, 1)) ** exponent
+            if hint.rank is not None:
+                unit = float(max(hint.matrix_order, 1)) * max(int(hint.rank), 1)
+            else:
+                exponent = max(self.determinant_exponent - 1.0, 1.0)
+                unit = float(max(hint.matrix_order, 1)) ** exponent
         else:
-            unit = self.determinant_work(hint.matrix_order)
+            unit = self._query_flop_unit(hint)
         return queries * unit * fraction
 
     def estimate_batch_seconds(self, hint: OracleCostHint, queries: int) -> float:
         """Estimated single-lane seconds to answer ``queries`` oracle queries.
 
         Splits the batch between the LAPACK lane (the
-        ``(1 - python_fraction)`` share of the PRAM determinant work) and
+        ``(1 - python_fraction)`` share of the structural flop work) and
         the interpreted-Python lane (see :meth:`_python_work`), pricing each
         with its calibrated coefficient.
         """
         fraction = min(max(hint.python_fraction, 0.0), 1.0)
-        flop_work = self.oracle_query_work(hint.matrix_order, queries) * (1.0 - fraction)
+        flop_work = queries * self._query_flop_unit(hint) * (1.0 - fraction)
         return (self._python_work(hint, queries) * self.coefficients.seconds_per_python_unit
                 + flop_work * self.coefficients.seconds_per_flop_unit)
 

@@ -67,7 +67,7 @@ def default_registry() -> KernelRegistry:
     return _DEFAULT_REGISTRY
 
 
-def serve(kernel: Union[str, np.ndarray], *, name: Optional[str] = None,
+def serve(kernel, *, name: Optional[str] = None,
           kind: Optional[str] = None,
           parts: Optional[Sequence[Sequence[int]]] = None,
           counts: Optional[Sequence[int]] = None,
@@ -77,11 +77,14 @@ def serve(kernel: Union[str, np.ndarray], *, name: Optional[str] = None,
           validate: bool = True) -> SamplerSession:
     """Open a warm :class:`SamplerSession` for a kernel.
 
-    ``kernel`` is either the name of an already registered kernel or a raw
-    ensemble matrix, which is (idempotently) registered first — under
-    ``name`` when given, else under a name derived from its content
-    fingerprint and kind, so serving the same matrix twice reuses one
-    registration and one cached factorization.
+    ``kernel`` is the name of an already registered kernel, a raw ensemble
+    matrix, or a :class:`~repro.distributions.lowrank.LowRankKernel` — the
+    matrix/factor is (idempotently) registered first — under ``name`` when
+    given, else under a name derived from its content fingerprint and kind,
+    so serving the same kernel twice reuses one registration and one cached
+    factorization.  Low-rank kernels register their ``n x k`` factor (kind
+    ``"lowrank"``), so every cached artifact stays ``k``-sized and sampling
+    runs the sublinear intermediate sampler by default.
 
     Lifecycle: auto-named registrations are **ephemeral** — the session pins
     the entry while open, and once every session on it is closed the
@@ -121,8 +124,17 @@ def serve(kernel: Union[str, np.ndarray], *, name: Optional[str] = None,
                 reg.release(kernel)
             raise
     else:
-        kind = kind if kind is not None else "symmetric"
-        matrix = np.asarray(kernel, dtype=float)
+        from repro.distributions.lowrank import LowRankKernel
+
+        if isinstance(kernel, LowRankKernel):
+            if kind not in (None, "lowrank"):
+                raise ValueError(
+                    f"a LowRankKernel serves as kind='lowrank', not {kind!r}")
+            kind = "lowrank"
+            matrix = kernel.factor
+        else:
+            kind = kind if kind is not None else "symmetric"
+            matrix = np.asarray(kernel, dtype=float)
         ephemeral = name is None
         if name is None:
             from repro.utils.fingerprint import matrix_fingerprint

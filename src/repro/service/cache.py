@@ -213,6 +213,56 @@ class KernelFactorization:
         return self._get("nonsym_size_distribution", compute)
 
     # ------------------------------------------------------------------ #
+    # low-rank (factor) artifacts — ``matrix`` is the ``n x k`` factor ``B``
+    # ------------------------------------------------------------------ #
+    @property
+    def lowrank_gram(self) -> np.ndarray:
+        """Dual ``k x k`` Gram ``BᵀB`` — the exact array
+        :attr:`repro.distributions.lowrank.LowRankDPP.gram` computes."""
+        return self._get("lowrank_gram", lambda: self.matrix.T @ self.matrix)
+
+    @property
+    def lowrank_dual(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Clipped ``eigh`` pair of the symmetrized dual Gram — matches the
+        low-rank distributions' ``_compute_dual`` numerics bitwise."""
+        def compute():
+            gram = self.lowrank_gram
+            eigenvalues, vectors = np.linalg.eigh(0.5 * (gram + gram.T))
+            return np.clip(eigenvalues, 0.0, None), vectors
+        return self._get("lowrank_dual", compute)
+
+    @property
+    def lowrank_whitened(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Whitened ``(λ_kept, U)`` intermediate-sampling basis.
+
+        Computed from :attr:`lowrank_dual` via
+        :func:`repro.dpp.intermediate.lowrank_intermediate_basis` — identical
+        to the cold path's whitening (which runs the same Gram + clipped
+        ``eigh``), so cached serving replays cold-path samples bitwise.
+        """
+        from repro.dpp.intermediate import lowrank_intermediate_basis
+
+        return self._get("lowrank_whitened", lambda: lowrank_intermediate_basis(
+            self.matrix, dual=self.lowrank_dual))
+
+    @property
+    def lowrank_size_distribution(self) -> np.ndarray:
+        """``P[|S| = t]`` of the low-rank DPP — matches
+        :meth:`repro.distributions.lowrank.LowRankDPP.cardinality_distribution`."""
+        def compute():
+            from repro.linalg.esp import elementary_symmetric_polynomials as esp_table
+
+            n, k = self.matrix.shape
+            esp = esp_table(self.lowrank_dual[0], max_order=min(k, n))
+            weights = np.zeros(n + 1, dtype=float)
+            weights[:esp.size] = np.clip(esp, 0.0, None)
+            total = weights.sum()
+            if total <= 0:
+                raise ValueError("low-rank ensemble defines a zero measure")
+            return weights / total
+        return self._get("lowrank_size_distribution", compute)
+
+    # ------------------------------------------------------------------ #
     # partition-kernel artifacts
     # ------------------------------------------------------------------ #
     def partition_normalizer(self, parts: Sequence[Sequence[int]],
@@ -263,6 +313,11 @@ class KernelFactorization:
             self.det_identity_plus
             self.minor_sums
             self.nonsym_size_distribution
+        elif kind == "lowrank":
+            self.lowrank_gram
+            self.lowrank_dual
+            self.lowrank_whitened
+            self.lowrank_size_distribution
         elif kind == "partition":
             if parts is None or counts is None:
                 raise ValueError("warming a partition kernel requires parts= and counts=")
@@ -280,6 +335,9 @@ class KernelFactorization:
         "factor": "factor",
         "factor_gram": "factor_gram",
         "kernel": "kernel",
+        # low-rank distributions ship back the worker-computed dual Gram of
+        # their factor (worker: B.T @ B — byte-identical to lowrank_gram)
+        "gram": "lowrank_gram",
     }
 
     def seed(self, name: str, value: np.ndarray) -> bool:

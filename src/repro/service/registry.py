@@ -33,7 +33,7 @@ from repro.utils.fingerprint import kernel_fingerprint, partition_keys
 __all__ = ["KERNEL_KINDS", "RegisteredKernel", "KernelRegistry", "kernel_fingerprint"]
 
 #: distribution families the serving layer understands
-KERNEL_KINDS = ("symmetric", "nonsymmetric", "partition")
+KERNEL_KINDS = ("symmetric", "nonsymmetric", "partition", "lowrank")
 
 #: default idle lifetime (seconds) of an ephemeral registration with no
 #: open sessions; ``KernelRegistry(anonymous_ttl=...)`` overrides
@@ -112,6 +112,16 @@ class KernelRegistry:
         before returning, so the first draw is already warm; the computation
         runs outside the registry lock.
         """
+        from repro.distributions.lowrank import LowRankKernel
+
+        if isinstance(matrix, LowRankKernel):
+            # a LowRankKernel carries its own kind: auto-promote the default
+            if kind == "symmetric":
+                kind = "lowrank"
+            if kind != "lowrank":
+                raise ValueError(
+                    f"a LowRankKernel registers as kind='lowrank', not {kind!r}")
+            matrix = matrix.factor
         if kind not in KERNEL_KINDS:
             raise ValueError(f"unknown kernel kind {kind!r}; expected one of {KERNEL_KINDS}")
         if kind == "partition":
@@ -122,7 +132,18 @@ class KernelRegistry:
 
         a = np.array(matrix, dtype=float, copy=True)
         if validate:
-            validate_ensemble(a, symmetric=(kind != "nonsymmetric"))
+            if kind == "lowrank":
+                # the registered matrix IS the (n, k) factor: validate shape,
+                # finiteness and column rank in factor-sized time
+                from repro.utils.validation import check_factor
+
+                a = check_factor(a)
+            else:
+                validate_ensemble(a, symmetric=(kind != "nonsymmetric"))
+        elif kind == "lowrank":
+            # canonical layout even unvalidated: the content fingerprint
+            # hashes bytes, and a fortran-ordered duplicate must not re-key
+            a = np.ascontiguousarray(a)
         parts_key, counts_key = partition_keys(parts, counts)
         if kind == "partition":
             if validate:

@@ -33,6 +33,8 @@ from repro.core.entropic import EntropicSamplerConfig, sample_entropic_parallel
 from repro.core.result import SampleResult, SamplerReport
 from repro.core.symmetric import kdpp_batched_config
 from repro.distributions.base import SubsetDistribution
+from repro.distributions.lowrank import LowRankDPP, LowRankKDPP, LowRankKernel
+from repro.dpp.intermediate import sample_dpp_intermediate, sample_kdpp_intermediate
 from repro.dpp.nonsymmetric import NonsymmetricDPP, NonsymmetricKDPP
 from repro.dpp.partition import PartitionDPP
 from repro.dpp.spectral import sample_dpp_spectral, sample_kdpp_spectral
@@ -169,6 +171,17 @@ class SamplerSession:
                     kernel=fact.kernel, partition_function=fact.det_identity_plus)
             return NonsymmetricKDPP(entry.matrix, int(k), validate=False,
                                     partition_function=max(fact.minor_sum(int(k)), 0.0))
+        if entry.kind == "lowrank":
+            # entry.matrix is the (n, k) factor; thread the cached k x k duals
+            kernel = LowRankKernel(entry.matrix, validate=False)
+            dual_eigenvalues, dual_vectors = fact.lowrank_dual
+            if k is None:
+                dist = LowRankDPP(kernel, validate=False)
+            else:
+                dist = LowRankKDPP(kernel, int(k), validate=False)
+            return dist.attach_precomputed(gram=fact.lowrank_gram,
+                                           dual_eigenvalues=dual_eigenvalues,
+                                           dual_vectors=dual_vectors)
         # partition
         if k is not None and k != sum(entry.counts):
             raise ValueError(
@@ -182,19 +195,23 @@ class SamplerSession:
     # ------------------------------------------------------------------ #
     def sample(self, k: Optional[int] = None, *, seed: SeedLike = None,
                method: Optional[str] = None, backend: BackendLike = None,
-               delta: float = 1e-2,
+               delta: float = 1e-2, oversample: Optional[float] = None,
                config: Optional[Union[BatchedSamplerConfig, EntropicSamplerConfig]] = None,
                tracker: Optional[Tracker] = None) -> SampleResult:
         """Draw one sample, reusing every cached artifact.
 
         Fixed-seed draws are identical to the corresponding cold-path entry
         point (``sample_kdpp_spectral`` / ``sample_symmetric_kdpp_parallel``
-        / ...): the cache changes wall-clock, never the sample.
+        / ``sample_dpp_intermediate`` / ...): the cache changes wall-clock,
+        never the sample.  ``oversample`` is the low-rank intermediate
+        sampler's candidate-set β knob (``method="lowrank"`` only).
         """
         self._check_open()
         method = self._resolve_method(method)
         if method == "spectral":
             result = self._sample_spectral(k, seed, tracker, backend)
+        elif method == "lowrank":
+            result = self._sample_lowrank(k, seed, tracker, backend, oversample)
         else:
             result = self._sample_parallel(k, seed, tracker, backend, delta, config)
         with self._lock:
@@ -204,11 +221,16 @@ class SamplerSession:
     def _resolve_method(self, method: Optional[str]) -> str:
         kind = self.entry.kind
         if method is None:
-            return "spectral" if kind == "symmetric" else "parallel"
-        if method not in ("spectral", "parallel"):
+            if kind == "symmetric":
+                return "spectral"
+            return "lowrank" if kind == "lowrank" else "parallel"
+        if method not in ("spectral", "parallel", "lowrank"):
             raise ValueError(f"unknown sampling method {method!r}")
         if method == "spectral" and kind != "symmetric":
             raise ValueError(f"method='spectral' requires a symmetric kernel, got kind={kind!r}")
+        if method == "lowrank" and kind != "lowrank":
+            raise ValueError(
+                f"method='lowrank' requires a LowRankKernel registration, got kind={kind!r}")
         return method
 
     # ------------------------------------------------------------------ #
@@ -227,6 +249,30 @@ class SamplerSession:
                                               validate=False, eigh=eigh, backend=backend)
         return SampleResult(subset=subset, report=SamplerReport.from_tracker(trk))
 
+    def _sample_lowrank(self, k: Optional[int], seed: SeedLike,
+                        tracker: Optional[Tracker], backend: BackendLike,
+                        oversample: Optional[float]) -> SampleResult:
+        """The sublinear intermediate sampler over the cached whitened basis.
+
+        Exactly the cold-path :func:`repro.dpp.intermediate.sample_dpp_intermediate`
+        / :func:`~repro.dpp.intermediate.sample_kdpp_intermediate` draw — the
+        cache supplies the one-time ``O(n·k² + k³)`` whitening, never touches
+        the per-sample randomness.
+        """
+        whitened = self.factorization.lowrank_whitened
+        backend = backend if backend is not None else self.backend
+        trk = tracker if tracker is not None else Tracker()
+        with use_tracker(trk):
+            if k is None:
+                subset = sample_dpp_intermediate(
+                    self.entry.matrix, seed, oversample=oversample,
+                    whitened=whitened, backend=backend)
+            else:
+                subset = sample_kdpp_intermediate(
+                    self.entry.matrix, int(k), seed, oversample=oversample,
+                    whitened=whitened, backend=backend)
+        return SampleResult(subset=subset, report=SamplerReport.from_tracker(trk))
+
     def _sample_parallel(self, k: Optional[int], seed: SeedLike,
                          tracker: Optional[Tracker], backend: BackendLike,
                          delta: float,
@@ -241,9 +287,10 @@ class SamplerSession:
         if entry.kind == "nonsymmetric":
             return sample_entropic_parallel(self.distribution(int(k)), config, seed,
                                             tracker=tracker, backend=backend)
-        # symmetric k-DPP: same driver construction as
+        # symmetric / low-rank k-DPP: same driver construction as
         # sample_symmetric_kdpp_parallel, so warm draws replay the cold
-        # path's randomness verbatim.
+        # path's randomness verbatim (the low-rank distribution answers the
+        # identical counting queries in factor space).
         kk = int(k)
         if config is not None:
             if not isinstance(config, BatchedSamplerConfig):
@@ -262,8 +309,12 @@ class SamplerSession:
                                        config: Optional[Union[BatchedSamplerConfig, EntropicSamplerConfig]]) -> SampleResult:
         """Remark 15 with a cached size distribution: draw ``|S|``, then k-DPP."""
         fact = self.factorization
-        sizes = (fact.size_distribution if self.entry.kind == "symmetric"
-                 else fact.nonsym_size_distribution)
+        if self.entry.kind == "symmetric":
+            sizes = fact.size_distribution
+        elif self.entry.kind == "lowrank":
+            sizes = fact.lowrank_size_distribution
+        else:
+            sizes = fact.nonsym_size_distribution
         rng = as_generator(seed)
         trk = tracker if tracker is not None else Tracker()
         with use_tracker(trk):

@@ -3,7 +3,9 @@
 from repro.workloads.kernels import (
     random_psd_ensemble,
     random_low_rank_ensemble,
+    random_low_rank_factor_ensemble,
     rbf_kernel_ensemble,
+    rbf_factor_ensemble,
     clustered_ensemble,
     random_npsd_ensemble,
     bounded_spectrum_ensemble,
@@ -15,7 +17,9 @@ from repro.workloads.datasets import synthetic_documents, synthetic_catalog
 __all__ = [
     "random_psd_ensemble",
     "random_low_rank_ensemble",
+    "random_low_rank_factor_ensemble",
     "rbf_kernel_ensemble",
+    "rbf_factor_ensemble",
     "clustered_ensemble",
     "random_npsd_ensemble",
     "bounded_spectrum_ensemble",

@@ -6,6 +6,9 @@ These produce the synthetic kernels the experiments sweep over:
   ensembles with controllable spectrum (the Theorem 10 workload);
 * :func:`rbf_kernel_ensemble` — Gaussian-kernel similarity of random feature
   vectors (the data-summarization / Nyström workload of the examples);
+* :func:`random_low_rank_factor_ensemble` / :func:`rbf_factor_ensemble` —
+  explicit ``n x rank`` factors of the two Gram ensembles above, for the
+  sublinear tier (never materialize the ``n x n`` kernel);
 * :func:`clustered_ensemble` — block-structured similarities with a natural
   grouping (the Partition-DPP workload of Theorem 9);
 * :func:`random_npsd_ensemble` — nonsymmetric PSD ensembles built as
@@ -17,7 +20,7 @@ These produce the synthetic kernels the experiments sweep over:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +71,58 @@ def rbf_kernel_ensemble(n: int, *, dimension: int = 5, bandwidth: float = 1.0,
     L = (q[:, None] * similarity) * q[None, :]
     # symmetrize against floating point noise
     return 0.5 * (L + L.T), features
+
+
+def random_low_rank_factor_ensemble(n: int, rank: int, *, eigenvalue_scale: float = 2.0,
+                                    seed: SeedLike = None) -> Tuple[np.ndarray, Dict[str, object]]:
+    """Explicit ``n x rank`` factor ``B`` of a random rank-``rank`` PSD ensemble.
+
+    The sublinear-tier sibling of :func:`random_low_rank_ensemble`: the
+    ensemble ``L = B Bᵀ`` has exactly ``rank`` nonzero eigenvalues of size
+    ``Θ(eigenvalue_scale)``, but only the factor is ever formed — memory is
+    ``O(n·rank)``, so ``n`` in the 10^5–10^6 range stays cheap.  Returns
+    ``(B, metadata)`` with the planted eigenvalues in ``metadata``; wrap ``B``
+    in :class:`repro.LowRankKernel` to sample from it.
+    """
+    rng = as_generator(seed)
+    if not 1 <= rank <= n:
+        raise ValueError(f"rank must lie in [1, {n}]")
+    gaussian = rng.standard_normal((n, rank))
+    basis, _ = np.linalg.qr(gaussian)
+    eigenvalues = eigenvalue_scale * (0.5 + rng.random(rank))
+    factor = np.ascontiguousarray(basis * np.sqrt(eigenvalues))
+    metadata: Dict[str, object] = {"rank": int(rank),
+                                   "eigenvalues": eigenvalues,
+                                   "eigenvalue_scale": float(eigenvalue_scale)}
+    return factor, metadata
+
+
+def rbf_factor_ensemble(n: int, rank: int, *, dimension: int = 5, bandwidth: float = 1.0,
+                        quality: Optional[np.ndarray] = None,
+                        seed: SeedLike = None) -> Tuple[np.ndarray, Dict[str, object]]:
+    """Random-Fourier-feature factor of a Gaussian-similarity ensemble.
+
+    The sublinear-tier sibling of :func:`rbf_kernel_ensemble`: ``rank`` random
+    Fourier features [Rahimi–Recht] give ``B`` with ``(B Bᵀ)_{ij} ≈ q_i q_j
+    exp(-||x_i - x_j||² / (2 bw²))``, without ever forming the ``n x n``
+    similarity matrix.  Returns ``(B, metadata)`` with the raw feature vectors
+    and quality scores in ``metadata``; wrap ``B`` in
+    :class:`repro.LowRankKernel` to sample from it.
+    """
+    rng = as_generator(seed)
+    if rank < 1:
+        raise ValueError(f"rank must be positive, got {rank}")
+    features = rng.standard_normal((n, dimension))
+    frequencies = rng.standard_normal((dimension, rank)) / bandwidth
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=rank)
+    fourier = np.sqrt(2.0 / rank) * np.cos(features @ frequencies + phases)
+    if quality is None:
+        quality = 0.5 + rng.random(n)
+    q = np.asarray(quality, dtype=float)
+    factor = np.ascontiguousarray(q[:, None] * fourier)
+    metadata: Dict[str, object] = {"rank": int(rank), "features": features,
+                                   "quality": q, "bandwidth": float(bandwidth)}
+    return factor, metadata
 
 
 def clustered_ensemble(cluster_sizes: Sequence[int], *, within: float = 0.85,

@@ -1,0 +1,260 @@
+"""Sublinear tier: LowRankKernel, intermediate sampling, and serving identity.
+
+Three layers of pins:
+
+* **exactness** — the intermediate sampler's output law is *exactly*
+  ``DPP(B Bᵀ)``: total-variation distance against brute-force enumeration at
+  small ``n`` stays under the sampling-noise floor (the accuracy-bench idiom
+  of ``benchmarks/bench_accuracy_tv.py``), including when the candidate pool
+  is deliberately undersized so the rejection/escalation path exercises;
+* **serving identity** — ``repro.serve(LowRankKernel(B))`` and
+  ``repro.serve_cluster(...)`` draw byte-identical fixed-seed samples across
+  every execution backend, fused and unfused, warm and cold, and their cache
+  artifacts are keyed on the factor-pair fingerprint;
+* **validation** — malformed factors fail at construction with
+  :class:`~repro.utils.validation.ValidationError`, while layout quirks
+  (fortran order, non-contiguity) are canonicalized, not rejected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.distributions.lowrank import LowRankDPP, LowRankKDPP, LowRankKernel
+from repro.dpp.exact import exact_dpp_distribution, exact_kdpp_distribution
+from repro.dpp.intermediate import (
+    lowrank_intermediate_basis,
+    sample_dpp_intermediate,
+    sample_kdpp_intermediate,
+)
+from repro.dpp.symmetric import SymmetricDPP
+from repro.service import KernelRegistry
+from repro.utils.fingerprint import kernel_fingerprint
+from repro.utils.validation import ValidationError, check_factor
+from repro.workloads import random_low_rank_factor_ensemble, rbf_factor_ensemble
+
+# same statistical budget as benchmarks/bench_accuracy_tv.py: with this many
+# draws the expected TV of a *correct* sampler stays well under the floor
+NUM_SAMPLES = 1200
+NOISE_FLOOR = 0.12
+
+
+def _factor(n: int, rank: int, seed: int) -> np.ndarray:
+    factor, _ = random_low_rank_factor_ensemble(n, rank, seed=seed)
+    return factor
+
+
+def _empirical_tv(sample_fn, exact, num_samples: int, seed: int) -> float:
+    """TV distance between empirical frequencies and an exact distribution."""
+    rng = np.random.default_rng(seed)
+    counts: dict = {}
+    for _ in range(num_samples):
+        subset = tuple(sorted(sample_fn(rng)))
+        counts[subset] = counts.get(subset, 0) + 1
+    support = set(exact.support) | set(counts)
+    tv = 0.0
+    for subset in support:
+        p = exact.probability_vector([subset])[0] if subset in exact.support else 0.0
+        tv += abs(counts.get(subset, 0) / num_samples - p)
+    return 0.5 * tv
+
+
+# --------------------------------------------------------------------------- #
+# exactness: TV distance against brute-force enumeration
+# --------------------------------------------------------------------------- #
+class TestIntermediateExactness:
+    def test_dpp_tv_under_noise_floor(self):
+        B = _factor(9, 3, seed=7)
+        exact = exact_dpp_distribution(B @ B.T)
+        tv = _empirical_tv(lambda rng: sample_dpp_intermediate(B, rng),
+                           exact, NUM_SAMPLES, seed=11)
+        assert tv < NOISE_FLOOR
+
+    def test_kdpp_tv_under_noise_floor(self):
+        B = _factor(9, 3, seed=8)
+        exact = exact_kdpp_distribution(B @ B.T, 2)
+        tv = _empirical_tv(lambda rng: sample_kdpp_intermediate(B, 2, rng),
+                           exact, NUM_SAMPLES, seed=12)
+        assert tv < NOISE_FLOOR
+
+    def test_escalation_path_stays_exact(self):
+        # deliberately undersized candidate pool: most phase-1 draws reject,
+        # the oversampling factor escalates, and the law must not budge
+        B = _factor(9, 3, seed=9)
+        exact = exact_dpp_distribution(B @ B.T)
+        tv = _empirical_tv(
+            lambda rng: sample_dpp_intermediate(B, rng, oversample=0.1, max_rounds=3),
+            exact, NUM_SAMPLES, seed=13)
+        assert tv < NOISE_FLOOR
+
+    def test_projection_chain_phase2_stays_exact(self, monkeypatch):
+        # force the large-pool phase 2 (Gram–Schmidt projection chain) at a
+        # brute-forceable size: same law as the dense reduced sampler
+        from repro.dpp import intermediate
+
+        monkeypatch.setattr(intermediate, "_REDUCED_DENSE_MAX", 0)
+        B = _factor(9, 3, seed=7)
+        exact = exact_dpp_distribution(B @ B.T)
+        tv = _empirical_tv(lambda rng: sample_dpp_intermediate(B, rng),
+                           exact, NUM_SAMPLES, seed=15)
+        assert tv < NOISE_FLOOR
+
+    def test_rbf_factor_kdpp_tv(self):
+        B, _ = rbf_factor_ensemble(8, 4, seed=21)
+        exact = exact_kdpp_distribution(B @ B.T, 3)
+        tv = _empirical_tv(lambda rng: sample_kdpp_intermediate(LowRankKernel(B), 3, rng),
+                           exact, NUM_SAMPLES, seed=14)
+        assert tv < NOISE_FLOOR
+
+
+# --------------------------------------------------------------------------- #
+# the low-rank counting oracle agrees with the dense one
+# --------------------------------------------------------------------------- #
+class TestLowRankOracle:
+    def test_counting_batch_matches_dense(self):
+        B = _factor(12, 4, seed=3)
+        dense = SymmetricDPP(B @ B.T)
+        lowrank = LowRankDPP(LowRankKernel(B))
+        subsets = [(), (0,), (2, 5), (1, 4, 7), (0, 3, 6, 9)]
+        np.testing.assert_allclose(lowrank.counting_batch(subsets),
+                                   dense.counting_batch(subsets),
+                                   rtol=1e-8, atol=1e-8)
+
+    def test_partition_function_is_char_poly(self):
+        B = _factor(10, 3, seed=4)
+        expected = float(np.linalg.det(np.eye(10) + B @ B.T))
+        assert LowRankDPP(LowRankKernel(B)).partition_function() == pytest.approx(expected)
+
+    def test_kdpp_cardinality_and_marginals(self):
+        B = _factor(10, 4, seed=5)
+        dist = LowRankKDPP(LowRankKernel(B), 3)
+        exact = exact_kdpp_distribution(B @ B.T, 3)
+        marginals = dist.marginal_vector()
+        expected = np.zeros(10)
+        for subset in exact.support:
+            p = exact.probability_vector([subset])[0]
+            for i in subset:
+                expected[i] += p
+        np.testing.assert_allclose(marginals, expected, rtol=1e-8, atol=1e-10)
+
+    def test_whitened_basis_spans_factor(self):
+        B = _factor(20, 5, seed=6)
+        eigenvalues, coords = lowrank_intermediate_basis(B)
+        # marginal kernel diagonal from the whitened coordinates matches dense
+        L = B @ B.T
+        K = L @ np.linalg.inv(np.eye(20) + L)
+        lev = np.einsum("ij,j,ij->i", coords, eigenvalues / (1.0 + eigenvalues), coords)
+        np.testing.assert_allclose(lev, np.diag(K), rtol=1e-8, atol=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# serving identity: backends x fusion x cluster, cache keyed on the factor
+# --------------------------------------------------------------------------- #
+class TestServingByteIdentity:
+    N, RANK, K = 48, 6, 4
+    SEEDS = (0, 1, 2, 17)
+
+    def _session(self, B, **kwargs):
+        return repro.serve(LowRankKernel(B), registry=KernelRegistry(), **kwargs)
+
+    def test_serve_matches_cold_sampler_and_backends(self):
+        B = _factor(self.N, self.RANK, seed=31)
+        kernel = LowRankKernel(B)
+        cold_dpp = [sample_dpp_intermediate(kernel, seed) for seed in self.SEEDS]
+        cold_kdpp = [sample_kdpp_intermediate(kernel, self.K, seed) for seed in self.SEEDS]
+        for backend in ("serial", "vectorized", "threads", "process"):
+            session = self._session(B, backend=backend)
+            assert [session.sample(seed=s).subset for s in self.SEEDS] == cold_dpp
+            assert [session.sample(k=self.K, seed=s).subset for s in self.SEEDS] == cold_kdpp
+            session.close()
+
+    def test_warm_and_fused_identity(self):
+        B = _factor(self.N, self.RANK, seed=32)
+        cold = self._session(B)
+        reference = [cold.sample(k=self.K, seed=s).subset for s in self.SEEDS]
+        cold.close()
+
+        warm = self._session(B).warm()
+        assert [warm.sample(k=self.K, seed=s).subset for s in self.SEEDS] == reference
+        for seed in self.SEEDS:
+            warm.submit(k=self.K, seed=seed, method="lowrank")
+        assert [r.subset for r in warm.drain()] == reference
+        warm.close()
+
+    def test_cluster_matches_single_node(self):
+        B = _factor(self.N, self.RANK, seed=33)
+        single = self._session(B)
+        reference = [single.sample(k=self.K, seed=s).subset for s in self.SEEDS]
+        unconstrained = [single.sample(seed=s).subset for s in self.SEEDS]
+        single.close()
+
+        session = repro.serve_cluster(LowRankKernel(B), nodes=3, replication=2, warm=True)
+        try:
+            assert [session.sample(k=self.K, seed=s).subset for s in self.SEEDS] == reference
+            assert [session.sample(seed=s).subset for s in self.SEEDS] == unconstrained
+            for seed in self.SEEDS:
+                session.submit(k=self.K, seed=seed, method="lowrank")
+            assert [r.subset for r in session.drain()] == reference
+        finally:
+            session.close()
+
+    def test_cache_keyed_on_factor_fingerprint(self):
+        B = _factor(self.N, self.RANK, seed=34)
+        fingerprint = kernel_fingerprint(np.ascontiguousarray(B), kind="lowrank")
+        registry = KernelRegistry()
+        entry = registry.register("lr", LowRankKernel(B))
+        assert entry.kind == "lowrank"
+        assert entry.fingerprint == fingerprint
+        # a fortran-ordered duplicate re-keys to the same canonical fingerprint
+        duplicate = registry.register("lr-f", np.asfortranarray(B.copy()), kind="lowrank")
+        assert duplicate.fingerprint == fingerprint
+        # the distribution's artifact-cache key is the same factor fingerprint
+        assert LowRankDPP(LowRankKernel(B)).artifact_cache_key() == fingerprint
+
+    def test_registry_rejects_mismatched_kind(self):
+        B = _factor(12, 3, seed=35)
+        with pytest.raises(ValueError):
+            KernelRegistry().register("bad", LowRankKernel(B), kind="nonsymmetric")
+        with pytest.raises(ValueError):
+            repro.serve(LowRankKernel(B), kind="partition", registry=KernelRegistry())
+
+
+# --------------------------------------------------------------------------- #
+# validation: malformed factors fail fast, layout quirks canonicalize
+# --------------------------------------------------------------------------- #
+class TestFactorValidation:
+    def test_rejects_non_2d_and_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            check_factor(np.ones(5))
+        with pytest.raises(ValidationError):
+            check_factor(np.ones((3, 7)))  # k > n
+        with pytest.raises(ValidationError):
+            check_factor(np.ones((4, 0)))
+
+    def test_rejects_non_finite_and_rank_deficient(self):
+        bad = np.ones((6, 2))
+        bad[3, 1] = np.nan
+        with pytest.raises(ValidationError):
+            check_factor(bad)
+        degenerate = np.ones((6, 2))  # duplicate columns: BᵀB singular
+        with pytest.raises(ValidationError):
+            LowRankKernel(degenerate)
+
+    def test_canonicalizes_layout(self):
+        B = _factor(10, 3, seed=41)
+        fortran = np.asfortranarray(B.copy())
+        strided = np.repeat(B, 2, axis=0)[::2]
+        for variant in (fortran, strided):
+            kernel = LowRankKernel(variant)
+            assert kernel.factor.flags["C_CONTIGUOUS"]
+            assert kernel.fingerprint == LowRankKernel(B).fingerprint
+        assert check_factor(B.astype(np.float32)).dtype == np.float64
+
+    def test_from_dense_recovers_low_rank(self):
+        B = _factor(14, 4, seed=42)
+        L = B @ B.T
+        kernel = LowRankKernel.from_dense(L)
+        assert kernel.rank == 4
+        np.testing.assert_allclose(kernel.materialize(), L, rtol=1e-8, atol=1e-8)
