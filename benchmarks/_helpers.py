@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import json
 import os
+import socket
+import subprocess
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
@@ -18,6 +20,63 @@ import numpy as np
 #: report, appended on every run, next to this file's parent (the repo root).
 TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                                "BENCH_trajectory.json")
+
+_PROVENANCE: Optional[Dict[str, object]] = None
+
+
+def provenance() -> Dict[str, object]:
+    """Where/what produced these numbers: git SHA, host, CPUs, BLAS vendor.
+
+    Computed once per process (the git subprocess is the expensive part) and
+    stamped into every report line by :func:`emit_reports`, so trajectory
+    lines from different machines/commits stay comparable after the fact.
+    Every field degrades to a placeholder rather than raising: benchmarks
+    must run from tarballs and containers without git just as well.
+    """
+    global _PROVENANCE
+    if _PROVENANCE is not None:
+        return dict(_PROVENANCE)
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        sha = "unknown"
+    try:
+        hostname = socket.gethostname()
+    except Exception:
+        hostname = "unknown"
+    _PROVENANCE = {
+        "git_sha": sha,
+        "hostname": hostname,
+        "cpu_count": os.cpu_count() or 0,
+        "blas": _blas_vendor(),
+        "numpy": np.__version__,
+    }
+    return dict(_PROVENANCE)
+
+
+def _blas_vendor() -> str:
+    """Best-effort BLAS library name from numpy's build/runtime config."""
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "")
+        if name:
+            return str(name)
+    except Exception:
+        pass
+    try:  # older numpy: parse the printed config header
+        import numpy.__config__ as npconfig
+        for attr in ("blas_ilp64_opt_info", "blas_opt_info", "blas_info"):
+            info = getattr(npconfig, attr, None)
+            if isinstance(info, dict) and info.get("libraries"):
+                return str(info["libraries"][0])
+    except Exception:
+        pass
+    return "unknown"
 
 
 def append_trajectory(reports: Union[Dict, Sequence[Dict]],
@@ -29,6 +88,10 @@ def append_trajectory(reports: Union[Dict, Sequence[Dict]],
     without hunting per-script artifacts.  Override the destination with
     ``path=`` or the ``BENCH_TRAJECTORY`` environment variable (the empty
     string disables appending — useful for throwaway local runs).
+
+    The file is created even when ``reports`` is empty, so downstream
+    tooling (CI artifact collection, trajectory diffing) can rely on its
+    existence after any benchmark run.
     """
     if isinstance(reports, dict):
         reports = [reports]
@@ -48,10 +111,16 @@ def emit_reports(reports: Union[Dict, Sequence[Dict]],
     The shared tail of every benchmark ``main()``: stdout gets the JSON lines
     (CI greps them), ``output`` (usually ``sys.argv[1]``) gets the same lines
     as the uploaded artifact, and :func:`append_trajectory` accumulates them
-    in the cross-run trajectory file.
+    in the cross-run trajectory file.  Each line is stamped with
+    :func:`provenance` (git SHA, hostname, CPU count, BLAS vendor) unless the
+    report already carries its own ``provenance`` key.
     """
     if isinstance(reports, dict):
         reports = [reports]
+    stamp = provenance()
+    reports = [report if "provenance" in report
+               else {**report, "provenance": stamp}
+               for report in reports]
     lines = [json.dumps(report) for report in reports]
     for line in lines:
         print(line)

@@ -47,6 +47,12 @@ draw *exact* DPP / k-DPP samples through an ``O(k log k)``-sized intermediate
 candidate set (memory ``O(n·k)``), and ``repro.serve(LowRankKernel(B))`` /
 ``serve_cluster(...)`` serve the factor with ``k``-sized cached artifacts.
 
+Observability: :mod:`repro.obs` — process-wide metrics + per-round tracing
+across backends, planner, scheduler, caches and cluster (off by default;
+``repro.obs.enable()``), exported via :func:`repro.obs.snapshot` (JSON) and
+:func:`repro.obs.render_prometheus` (Prometheus text), plus the planner's
+measured-cost feedback loop (``repro.obs.configure(feedback=True)``).
+
 Substrates: :mod:`repro.dpp` (kernels, counting oracles),
 :mod:`repro.planar` (Kasteleyn counting, separators), :mod:`repro.linalg`
 (NC-style linear algebra, batched in :mod:`repro.linalg.batch`),
@@ -56,7 +62,7 @@ independence, isotropic transform, hard instance), :mod:`repro.workloads`
 (synthetic workloads).
 """
 
-from repro import cluster, core, distributions, dpp, engine, linalg, planar, pram, service, utils, workloads
+from repro import cluster, core, distributions, dpp, engine, linalg, obs, planar, pram, service, utils, workloads
 from repro.service import (
     FactorizationCache,
     KernelRegistry,
@@ -115,6 +121,7 @@ __all__ = [
     "dpp",
     "engine",
     "linalg",
+    "obs",
     "planar",
     "pram",
     "service",

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.protocol import ClusterError, Connection, NodeUnavailable
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.utils.fingerprint import kernel_fingerprint
@@ -133,6 +134,7 @@ class ClusterClient:
                 if position + 1 < len(self.owners(fingerprint)):
                     with self._lock:
                         self.failovers += 1
+                    obs.record_failover(fingerprint)
         if isinstance(last_error, KeyError):
             raise last_error
         raise ClusterError(
@@ -369,34 +371,23 @@ class ClusterClient:
     # diagnostics & lifecycle
     # ------------------------------------------------------------------ #
     def cluster_info(self) -> Dict[str, object]:
-        """Per-node stats plus a cache rollup across the whole ring."""
-        nodes: Dict[str, object] = {}
-        totals = {"hits": 0, "misses": 0, "evictions": 0, "size_evictions": 0,
-                  "expired": 0, "invalidations": 0, "entries": 0, "nbytes": 0}
-        samples = 0
-        alive = 0
+        """Per-node stats plus a cache rollup across the whole ring.
+
+        Transport (the per-node ``stats`` calls) happens here; the schema
+        and the arithmetic live in the shared
+        :func:`repro.obs.rollup.cluster_rollup` helper — the one documented
+        stable schema every cluster front end reports.
+        """
+        nodes: Dict[str, Dict[str, object]] = {}
         for node_id in self.ring.nodes:
             try:
-                stats = self.call_node(node_id, {"op": "stats"})
+                nodes[node_id] = self.call_node(node_id, {"op": "stats"})
             except NodeUnavailable as exc:
                 nodes[node_id] = {"unreachable": str(exc)}
-                continue
-            alive += 1
-            nodes[node_id] = stats
-            samples += stats.get("samples_served", 0)
-            cache = stats.get("registry", {}).get("cache", {})
-            for key in totals:
-                totals[key] += int(cache.get(key, 0))
-        return {
-            "nodes": nodes,
-            "alive": alive,
-            "ring": {"nodes": list(self.ring.nodes), "vnodes": self.ring.vnodes,
-                     "replication": self.replication},
-            "registered": len(self._catalog),
-            "samples_served": samples,
-            "failovers": self.failovers,
-            "cache": totals,
-        }
+        return obs.cluster_rollup(
+            nodes, ring_nodes=self.ring.nodes, vnodes=self.ring.vnodes,
+            replication=self.replication, registered=len(self._catalog),
+            failovers=self.failovers)
 
     def close(self) -> None:
         with self._lock:

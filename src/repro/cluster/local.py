@@ -123,7 +123,10 @@ class LocalCluster:
 
     # ------------------------------------------------------------------ #
     def cluster_info(self) -> Dict[str, object]:
-        """Ring-wide stats rollup (see :meth:`ClusterClient.cluster_info`)."""
+        """Ring-wide stats rollup in the one stable schema documented by
+        :mod:`repro.obs.rollup` (built via :meth:`ClusterClient.cluster_info`
+        — both front ends share the same :func:`~repro.obs.rollup.cluster_rollup`
+        helper, so the dicts can never drift apart)."""
         return self._client.cluster_info()
 
     def shutdown(self) -> None:

@@ -34,11 +34,13 @@ from __future__ import annotations
 import pickle
 import socket
 import threading
+import time
 import traceback
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.protocol import ClusterError, NodeUnavailable, recv_frame, send_frame
 from repro.engine import BackendLike
 from repro.service.cache import FactorizationCache
@@ -211,7 +213,11 @@ class ShardNode:
             raise ClusterError(f"unknown op {op!r}")
         with self._lock:
             self.requests_served += 1
-        return handler(**args)
+        started = time.perf_counter()
+        try:
+            return handler(**args)
+        finally:
+            obs.record_cluster_op(op, time.perf_counter() - started)
 
     def _session(self, name: str) -> SamplerSession:
         with self._lock:

@@ -62,6 +62,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.dpp.spectral import sample_kdpp_spectral, select_kdpp_eigenvectors
 from repro.engine import BackendLike
 from repro.pram.tracker import current_tracker
@@ -202,6 +203,9 @@ def _sample_projection_intermediate(coords: np.ndarray, mask: np.ndarray,
         # G_mask ⪰ I, and the expected acceptance is exp(-log det G_mask)
         trace_mask = float(np.sum(leverages / safe_q))
         if not final and math.log(max(trace_mask / m, 1.0)) > _SKIP_LOGDET:
+            # recording consumes no randomness: the skip rule is a
+            # deterministic function of (coords, mask, β)
+            obs.record_intermediate("skipped_trace", beta=beta, attempt=attempt)
             beta *= 2.0
             continue
         with tracker.round("intermediate-candidates"):
@@ -210,7 +214,11 @@ def _sample_projection_intermediate(coords: np.ndarray, mask: np.ndarray,
             scaled = selected / safe_q[:, None]
             G_mask = selected.T @ scaled
             _sign_d, logdet_d = np.linalg.slogdet(G_mask)
+            certificate = math.exp(-max(logdet_d, 0.0))
             if not final and logdet_d > _SKIP_LOGDET:
+                obs.record_intermediate("skipped_certificate",
+                                        certificate=certificate, beta=beta,
+                                        attempt=attempt)
                 beta *= 2.0                          # hopeless: skip the draw
                 continue
             candidates = np.flatnonzero(rng.random(n) < q)
@@ -223,6 +231,10 @@ def _sample_projection_intermediate(coords: np.ndarray, mask: np.ndarray,
             else:
                 log_alpha = -np.inf                  # α = 0: certain rejection
         if math.log(max(accept_draw, 1e-300)) < log_alpha:
+            obs.record_intermediate("direct" if final else "accepted",
+                                    certificate=certificate,
+                                    pool=int(candidates.size), beta=beta,
+                                    attempt=attempt)
             # phase 2 (Cauchy–Binet: the m-DPP on W̃W̃ᵀ is the volume
             # sampling law over candidate rows)
             if candidates.size <= _REDUCED_DENSE_MAX:
@@ -238,6 +250,9 @@ def _sample_projection_intermediate(coords: np.ndarray, mask: np.ndarray,
                                          / np.sqrt(gram_eigenvalues)[None, :])
                 inner = _projection_chain(orthonormal, rng)
             return subset_key(int(candidates[i]) for i in inner)
+        obs.record_intermediate("rejected", certificate=certificate,
+                                pool=int(candidates.size), beta=beta,
+                                attempt=attempt)
         beta *= 2.0
     raise RuntimeError("intermediate sampler failed to accept at q ≡ 1 "
                        "(unreachable: α = 1 there)")  # pragma: no cover

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.engine.batch import BatchPayload, OracleBatch, OracleBatchResult
 from repro.linalg.batch import grouped_log_principal_minors, hkpv_projection_step
 from repro.pram.tracker import Tracker, current_tracker, use_tracker
@@ -104,13 +105,15 @@ class ExecutionBackend(abc.ABC):
         artifacts: Dict[str, object] = {}
         if isinstance(values, tuple):
             values, artifacts = values
-        return OracleBatchResult(
+        result = OracleBatchResult(
             values=np.asarray(values),
             backend=self.name,
             wall_time=time.perf_counter() - start,
             n_queries=batch.n_queries,
             artifacts=artifacts,
         )
+        obs.record_round(batch, result)
+        return result
 
     def traits(self) -> BackendTraits:
         """This backend's capability/overhead descriptor (see :class:`BackendTraits`)."""

@@ -46,10 +46,11 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Sequence
+from typing import Deque, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine.backends import BackendTraits, ExecutionBackend
 from repro.engine.batch import OracleBatch, OracleBatchResult
 from repro.pram.cost import (
@@ -113,6 +114,8 @@ class PlanDecision:
     estimates: Dict[str, float] = field(default_factory=dict)
     #: why the batch skipped estimation ("fixed-route", "empty", ...) if it did
     reason: str = ""
+    #: distribution family label (class name, or "matrix" for minor batches)
+    family: str = ""
 
 
 class RoundPlanner:
@@ -135,13 +138,20 @@ class RoundPlanner:
     overheads:
         Optional pre-seeded ``name -> seconds`` dispatch overheads,
         bypassing the lazy probes (tests, or operators with known numbers).
+    feedback:
+        The :class:`~repro.obs.feedback.ObservedCostFeedback` whose learned
+        corrections rescale every candidate estimate (and which
+        :meth:`observe` feeds measured wall-times into).  ``None`` — the
+        default — resolves lazily to the process-wide ``repro.obs``
+        instance, which is disabled unless the operator arms it with
+        ``repro.obs.configure(feedback=True)``; tests inject their own.
     """
 
     def __init__(self, cost_model: Optional[CostModel] = None, *,
                  candidates: Sequence[str] = DEFAULT_CANDIDATES,
                  backends: Optional[Dict[str, ExecutionBackend]] = None,
                  overheads: Optional[Dict[str, float]] = None,
-                 record: int = 64):
+                 feedback=None, record: int = 64):
         self._cost_model_input = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         self._calibrated: Optional[CalibratedCostModel] = (
             self._cost_model_input if isinstance(self._cost_model_input, CalibratedCostModel)
@@ -149,8 +159,14 @@ class RoundPlanner:
         self.candidates = tuple(candidates)
         self._backends = dict(backends) if backends is not None else None
         self._overheads: Dict[str, float] = dict(overheads or {})
+        self._feedback = feedback
         self._lock = threading.Lock()
         self.decisions: Deque[PlanDecision] = deque(maxlen=record)
+
+    @property
+    def feedback(self):
+        """The measured-cost feedback in effect (process-wide by default)."""
+        return self._feedback if self._feedback is not None else obs.feedback()
 
     # ------------------------------------------------------------------ #
     # lazily calibrated pieces
@@ -215,10 +231,18 @@ class RoundPlanner:
                               batch_vectorized=True)
 
     def estimate(self, batch: OracleBatch) -> Dict[str, float]:
-        """Estimated wall-clock seconds per candidate backend for ``batch``."""
+        """Estimated wall-clock seconds per candidate backend for ``batch``.
+
+        Each candidate's static (calibrated-model) estimate is rescaled by
+        the measured-cost feedback correction for its
+        ``(backend, family, shape bucket)`` regime — a no-op multiplier of
+        1.0 until feedback is armed and that regime has been observed.
+        """
         hint = self._hint_for(batch)
         model = self.cost_model
         queries = len(batch.subsets)
+        feedback = self.feedback
+        family = obs.family_of(batch)
         total_s = model.estimate_batch_seconds(hint, queries)
         python_s = model.python_seconds(hint, queries)
         lapack_s = total_s - python_s
@@ -269,40 +293,76 @@ class RoundPlanner:
                         cost += model.shipping_seconds(shipping(batch))
                     except Exception:
                         pass  # estimation must never fail a round
-            estimates[name] = cost
+            estimates[name] = cost * feedback.correction(name, family, queries)
         return estimates
 
     # ------------------------------------------------------------------ #
-    def choose(self, batch: OracleBatch) -> ExecutionBackend:
-        """The cheapest eligible backend for ``batch``.
+    def plan(self, batch: OracleBatch) -> Tuple[ExecutionBackend, PlanDecision]:
+        """The cheapest eligible backend for ``batch``, with its decision.
 
         Fixed-route kinds and empty batches go straight to the in-process
         backend; everything else is estimated.  Candidate order breaks ties
         (``vectorized`` first), so an overhead-free in-process answer is
         never abandoned for a same-cost pooled one.
         """
+        family = obs.family_of(batch)
         fallback = self._backend(self.candidates[0])
         if batch.kind not in PLANNED_KINDS:
-            self._record(PlanDecision(kind=batch.kind, label=batch.label,
-                                      queries=batch.n_queries,
-                                      chosen=fallback.name, reason="fixed-route"))
-            return fallback
+            decision = PlanDecision(kind=batch.kind, label=batch.label,
+                                    queries=batch.n_queries, chosen=fallback.name,
+                                    reason="fixed-route", family=family)
+            self._record(decision)
+            return fallback, decision
         if not batch.subsets:
-            self._record(PlanDecision(kind=batch.kind, label=batch.label, queries=0,
-                                      chosen=fallback.name, reason="empty"))
-            return fallback
+            decision = PlanDecision(kind=batch.kind, label=batch.label, queries=0,
+                                    chosen=fallback.name, reason="empty",
+                                    family=family)
+            self._record(decision)
+            return fallback, decision
         estimates = self.estimate(batch)
         if not estimates:
-            return fallback
+            decision = PlanDecision(kind=batch.kind, label=batch.label,
+                                    queries=len(batch.subsets),
+                                    chosen=fallback.name,
+                                    reason="no-candidates", family=family)
+            self._record(decision)
+            return fallback, decision
         chosen = min(estimates, key=lambda name: estimates[name])
-        self._record(PlanDecision(kind=batch.kind, label=batch.label,
-                                  queries=len(batch.subsets), chosen=chosen,
-                                  estimates=estimates))
-        return self._backend(chosen)
+        decision = PlanDecision(kind=batch.kind, label=batch.label,
+                                queries=len(batch.subsets), chosen=chosen,
+                                estimates=estimates, family=family)
+        self._record(decision)
+        return self._backend(chosen), decision
+
+    def choose(self, batch: OracleBatch) -> ExecutionBackend:
+        """The cheapest eligible backend for ``batch`` (see :meth:`plan`)."""
+        return self.plan(batch)[0]
+
+    def observe(self, decision: PlanDecision, result: OracleBatchResult) -> None:
+        """Feed a routed round's measured wall time back into pricing.
+
+        Records predicted-vs-actual in the metrics registry and — when the
+        feedback knob is armed — updates the EWMA correction for the
+        decision's ``(backend, family, shape bucket)`` regime.  Only
+        estimated decisions carry a prediction; fixed-route/empty rounds
+        have nothing to compare against.
+        """
+        predicted = decision.estimates.get(decision.chosen)
+        if predicted is None:
+            return
+        obs.observe_round_cost(decision.chosen, decision.family,
+                               decision.queries, predicted, result.wall_time)
+        feedback = self._feedback
+        if feedback is not None and feedback is not obs.feedback():
+            # an injected feedback object learns too (obs.observe_round_cost
+            # only feeds the process-wide instance)
+            feedback.observe(decision.chosen, decision.family,
+                             decision.queries, predicted, result.wall_time)
 
     def _record(self, decision: PlanDecision) -> None:
         with self._lock:
             self.decisions.append(decision)
+        obs.record_plan(decision)
 
     @property
     def last_decision(self) -> Optional[PlanDecision]:
@@ -332,7 +392,10 @@ class AutoBackend(ExecutionBackend):
             else DEFAULT_CANDIDATES)
 
     def execute(self, batch: OracleBatch, *, tracker: Optional[Tracker] = None) -> OracleBatchResult:
-        return self.planner.choose(batch).execute(batch, tracker=tracker)
+        backend, decision = self.planner.plan(batch)
+        result = backend.execute(batch, tracker=tracker)
+        self.planner.observe(decision, result)
+        return result
 
     def traits(self) -> BackendTraits:
         return BackendTraits(name=self.name)

@@ -1,0 +1,402 @@
+"""``repro.obs`` — unified observability for the whole serving stack.
+
+One process-wide :class:`~repro.obs.metrics.MetricsRegistry`, one
+:class:`~repro.obs.trace.Tracer`, and one
+:class:`~repro.obs.feedback.ObservedCostFeedback` instance back every
+instrumented layer:
+
+* every engine backend wraps round execution in a span
+  (``repro_rounds_total``, ``repro_round_seconds``, per-round trace records);
+* the planner records predicted-vs-actual cost per routed round and — when
+  the feedback knob is on — folds measurements into an online correction of
+  its wall-clock pricing;
+* the scheduler reports fusion width, queue wait, and drain latency;
+* the factorization caches and kernel registries re-export their existing
+  counters through registry *collectors* (no double bookkeeping);
+* cluster nodes time every wire op and clients count replica failovers;
+* the intermediate sampler emits acceptance/skip/escalation events with the
+  computable acceptance certificate.
+
+Everything is **off by default** and costs one boolean check per hook when
+off.  ``enable()`` / ``disable()`` flip metrics+tracing together;
+``configure(feedback=True)`` additionally arms the planner feedback loop
+(a separate switch because feedback may change *routing* — never sampled
+values — and operators may want visibility without self-tuning).
+
+Export: :func:`snapshot` (JSON-serializable) and
+:func:`render_prometheus` (Prometheus text exposition, scrapable from any
+HTTP handler that serves the string).
+
+This module imports nothing from ``repro.engine`` / ``repro.service`` /
+``repro.cluster`` — instrumented modules import *it* (lazily where needed),
+never the other way around, so there are no import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Dict, List, Optional
+
+from repro.obs.feedback import ObservedCostFeedback, shape_bucket
+from repro.obs.metrics import (CollectedMetric, Counter, Gauge, Histogram,
+                               MetricsRegistry, RATIO_BUCKETS, SIZE_BUCKETS,
+                               TIME_BUCKETS)
+from repro.obs.rollup import CACHE_TOTAL_KEYS, cluster_rollup, session_stats
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "MetricsRegistry", "Tracer", "ObservedCostFeedback",
+    "Counter", "Gauge", "Histogram", "CollectedMetric",
+    "registry", "tracer", "feedback",
+    "enabled", "enable", "disable", "configure", "reset",
+    "snapshot", "render_prometheus",
+    "session_stats", "cluster_rollup", "CACHE_TOTAL_KEYS",
+    "family_of", "shape_bucket",
+    "record_round", "record_plan", "observe_round_cost",
+    "record_fusion", "record_queue_wait", "record_drain",
+    "record_batch_counts", "record_intermediate",
+    "record_cluster_op", "record_failover",
+    "register_cache", "register_kernel_registry",
+]
+
+_REGISTRY = MetricsRegistry(enabled=False)
+_TRACER = Tracer(capacity=1024, enabled=False)
+_FEEDBACK = ObservedCostFeedback(enabled=False)
+
+# --------------------------------------------------------------------- #
+# metric catalog (eager: instruments are free until enabled)
+# --------------------------------------------------------------------- #
+_ROUNDS = _REGISTRY.counter(
+    "repro_rounds_total", "Engine rounds executed", ("backend", "kind"))
+_ROUND_SECONDS = _REGISTRY.histogram(
+    "repro_round_seconds", "Wall time per engine round", ("backend", "kind"),
+    TIME_BUCKETS)
+_ROUND_QUERIES = _REGISTRY.histogram(
+    "repro_round_queries", "Oracle queries per engine round", ("kind",),
+    SIZE_BUCKETS)
+_PLANNER_ROUNDS = _REGISTRY.counter(
+    "repro_planner_rounds_total", "Rounds routed by the auto planner",
+    ("chosen",))
+_PLANNER_RATIO = _REGISTRY.histogram(
+    "repro_planner_prediction_ratio",
+    "Actual/predicted wall time of planner-routed rounds", ("backend",),
+    RATIO_BUCKETS)
+_SCHED_DRAINS = _REGISTRY.counter(
+    "repro_scheduler_drains_total", "Scheduler drain calls")
+_SCHED_FUSED = _REGISTRY.counter(
+    "repro_scheduler_fused_rounds_total", "Fusion barriers flushed")
+_SCHED_SUBMITTED = _REGISTRY.counter(
+    "repro_scheduler_submitted_batches_total",
+    "Per-request batches parked at the fusion barrier")
+_SCHED_EXECUTED = _REGISTRY.counter(
+    "repro_scheduler_executed_batches_total",
+    "Fused batches actually executed")
+_FUSION_WIDTH = _REGISTRY.histogram(
+    "repro_scheduler_fusion_width", "Requests merged per fusion barrier", (),
+    SIZE_BUCKETS)
+_QUEUE_WAIT = _REGISTRY.histogram(
+    "repro_scheduler_queue_wait_seconds",
+    "Submit-to-execution latency of scheduled requests", (), TIME_BUCKETS)
+_DRAIN_SECONDS = _REGISTRY.histogram(
+    "repro_scheduler_drain_seconds", "Wall time per scheduler drain", (),
+    TIME_BUCKETS)
+_INTER_PROPOSALS = _REGISTRY.counter(
+    "repro_intermediate_proposals_total",
+    "Intermediate-sampling proposal outcomes", ("outcome",))
+_INTER_ESCALATIONS = _REGISTRY.counter(
+    "repro_intermediate_escalations_total",
+    "Candidate-pool escalations (beta doublings)")
+_INTER_CERT = _REGISTRY.histogram(
+    "repro_intermediate_acceptance_certificate",
+    "Computable acceptance certificate exp(-logdet) per proposal", (),
+    RATIO_BUCKETS)
+_INTER_POOL = _REGISTRY.histogram(
+    "repro_intermediate_pool_size", "Candidate pool size per proposal", (),
+    SIZE_BUCKETS)
+_CLUSTER_OP_SECONDS = _REGISTRY.histogram(
+    "repro_cluster_node_op_seconds", "Shard-node handler latency per op",
+    ("op",), TIME_BUCKETS)
+_CLUSTER_REQUESTS = _REGISTRY.counter(
+    "repro_cluster_node_requests_total", "Shard-node requests handled",
+    ("op",))
+_CLUSTER_FAILOVERS = _REGISTRY.counter(
+    "repro_cluster_client_failovers_total",
+    "Client-side replica failovers")
+
+# --------------------------------------------------------------------- #
+# singletons & switches
+# --------------------------------------------------------------------- #
+_SWITCH_LOCK = threading.Lock()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-wide per-round tracer."""
+    return _TRACER
+
+
+def feedback() -> ObservedCostFeedback:
+    """The process-wide measured-cost feedback state."""
+    return _FEEDBACK
+
+
+def enabled() -> bool:
+    """Whether metrics collection is currently on."""
+    return _REGISTRY.enabled
+
+
+def enable(*, trace: bool = True, feedback: Optional[bool] = None) -> None:
+    """Turn on metrics (and by default tracing); optionally arm feedback."""
+    configure(metrics=True, trace=trace, feedback=feedback)
+
+
+def disable() -> None:
+    """Turn off metrics, tracing, and feedback collection."""
+    configure(metrics=False, trace=False, feedback=False)
+
+
+def configure(*, metrics: Optional[bool] = None, trace: Optional[bool] = None,
+              feedback: Optional[bool] = None) -> Dict[str, bool]:
+    """Flip individual observability switches; ``None`` leaves one as-is.
+
+    Returns the resulting switch state.  ``feedback`` is deliberately a
+    separate knob: it lets the planner re-price routes from measured round
+    wall-times, which may change *which backend runs a round* but — by the
+    engine's seed-identity invariant — never the sampled values.
+    """
+    with _SWITCH_LOCK:
+        if metrics is not None:
+            _REGISTRY.enabled = bool(metrics)
+        if trace is not None:
+            _TRACER.enabled = bool(trace)
+        if feedback is not None:
+            _FEEDBACK.enabled = bool(feedback)
+        return {"metrics": _REGISTRY.enabled, "trace": _TRACER.enabled,
+                "feedback": _FEEDBACK.enabled}
+
+
+def reset() -> None:
+    """Zero all metric values, trace records, and feedback state.
+
+    Switches and registered instruments/collectors are left untouched.
+    """
+    _REGISTRY.reset()
+    _TRACER.clear()
+    _FEEDBACK.reset()
+
+
+def snapshot() -> Dict[str, object]:
+    """One JSON-serializable dump of metrics + trace + feedback state."""
+    return {
+        "metrics": _REGISTRY.snapshot(),
+        "trace": {"enabled": _TRACER.enabled, "capacity": _TRACER.capacity,
+                  "records": _TRACER.records()},
+        "feedback": _FEEDBACK.snapshot(),
+    }
+
+
+def render_prometheus() -> str:
+    """The metrics registry in Prometheus text exposition format."""
+    return _REGISTRY.render_prometheus()
+
+
+# --------------------------------------------------------------------- #
+# hot-path hooks (each starts with one boolean check when disabled)
+# --------------------------------------------------------------------- #
+def family_of(batch) -> str:
+    """Distribution-family label of an OracleBatch (class name or 'matrix')."""
+    distribution = getattr(batch, "distribution", None)
+    if distribution is not None:
+        return type(distribution).__name__
+    return "matrix"
+
+
+def record_round(batch, result, *, backend: Optional[str] = None,
+                 queue_wait: Optional[float] = None,
+                 predicted_seconds: Optional[float] = None) -> None:
+    """Span for one executed engine round (called by every backend)."""
+    if not (_REGISTRY.enabled or _TRACER.enabled):
+        return
+    name = backend if backend is not None else result.backend
+    kind = batch.kind
+    queries = int(result.n_queries)
+    if _REGISTRY.enabled:
+        _ROUNDS.inc(backend=name, kind=kind)
+        _ROUND_SECONDS.observe(result.wall_time, backend=name, kind=kind)
+        _ROUND_QUERIES.observe(float(queries), kind=kind)
+    if _TRACER.enabled:
+        _TRACER.record_round(
+            label=batch.label, kind=kind, family=family_of(batch),
+            backend=name, queries=queries, wall_time=result.wall_time,
+            queue_wait=queue_wait, predicted_seconds=predicted_seconds)
+
+
+def record_plan(decision) -> None:
+    """One auto-planner routing decision (a PlanDecision-shaped object)."""
+    if _REGISTRY.enabled:
+        _PLANNER_ROUNDS.inc(chosen=decision.chosen)
+    if _TRACER.enabled:
+        _TRACER.event("plan", kind=decision.kind, label=decision.label,
+                      queries=decision.queries, chosen=decision.chosen,
+                      reason=decision.reason,
+                      estimates=dict(decision.estimates))
+
+
+def observe_round_cost(backend: str, family: str, queries: int,
+                       predicted_seconds: float, actual_seconds: float) -> None:
+    """Predicted-vs-actual for one planner-routed round.
+
+    Feeds both the prediction-error histogram and — when armed — the
+    measured-cost feedback correction.
+    """
+    if _REGISTRY.enabled and predicted_seconds > 0 and actual_seconds >= 0:
+        _PLANNER_RATIO.observe(actual_seconds / predicted_seconds,
+                               backend=backend)
+    _FEEDBACK.observe(backend, family, queries, predicted_seconds,
+                      actual_seconds)
+
+
+def record_fusion(width: int) -> None:
+    """One fusion-barrier flush merging ``width`` parked requests."""
+    if not _REGISTRY.enabled:
+        return
+    _SCHED_FUSED.inc()
+    _FUSION_WIDTH.observe(float(width))
+
+
+def record_queue_wait(seconds: float) -> None:
+    if _REGISTRY.enabled:
+        _QUEUE_WAIT.observe(seconds)
+
+
+def record_drain(seconds: float, requests: int) -> None:
+    """One completed scheduler drain of ``requests`` tickets."""
+    if _REGISTRY.enabled:
+        _SCHED_DRAINS.inc()
+        _DRAIN_SECONDS.observe(seconds)
+    if _TRACER.enabled:
+        _TRACER.event("drain", seconds=seconds, requests=requests)
+
+
+def record_batch_counts(submitted: int, executed: int) -> None:
+    """Barrier-level batch accounting merged after one drain wave."""
+    if not _REGISTRY.enabled:
+        return
+    if submitted:
+        _SCHED_SUBMITTED.inc(submitted)
+    if executed:
+        _SCHED_EXECUTED.inc(executed)
+
+
+def record_intermediate(outcome: str, *, certificate: Optional[float] = None,
+                        pool: Optional[int] = None,
+                        beta: Optional[float] = None,
+                        attempt: Optional[int] = None) -> None:
+    """One intermediate-sampling proposal outcome.
+
+    ``outcome`` ∈ {accepted, rejected, skipped_trace, skipped_certificate,
+    direct}; escalations (beta doublings) are counted whenever a
+    skip/rejection escalates the pool.  Recording never touches the
+    sampler's random stream.
+    """
+    if _REGISTRY.enabled:
+        _INTER_PROPOSALS.inc(outcome=outcome)
+        if outcome in ("rejected", "skipped_trace", "skipped_certificate"):
+            _INTER_ESCALATIONS.inc()
+        if certificate is not None:
+            _INTER_CERT.observe(certificate)
+        if pool is not None:
+            _INTER_POOL.observe(float(pool))
+    if _TRACER.enabled:
+        _TRACER.event("intermediate", outcome=outcome, certificate=certificate,
+                      pool=pool, beta=beta, attempt=attempt)
+
+
+def record_cluster_op(op: str, seconds: float) -> None:
+    """One shard-node wire op handled in ``seconds``."""
+    if not _REGISTRY.enabled:
+        return
+    _CLUSTER_REQUESTS.inc(op=op)
+    _CLUSTER_OP_SECONDS.observe(seconds, op=op)
+
+
+def record_failover(fingerprint: Optional[str] = None) -> None:
+    """One client-side replica failover."""
+    if _REGISTRY.enabled:
+        _CLUSTER_FAILOVERS.inc()
+    if _TRACER.enabled:
+        _TRACER.event("failover", fingerprint=fingerprint)
+
+
+# --------------------------------------------------------------------- #
+# collectors: re-export cache/registry counters without double bookkeeping
+# --------------------------------------------------------------------- #
+_CACHES: "weakref.WeakSet" = weakref.WeakSet()
+_KERNEL_REGISTRIES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_cache(cache) -> None:
+    """Track a FactorizationCache for the summed cache collector (weakref)."""
+    _CACHES.add(cache)
+
+
+def register_kernel_registry(kernel_registry) -> None:
+    """Track a KernelRegistry for the registration-census collector."""
+    _KERNEL_REGISTRIES.add(kernel_registry)
+
+
+def _collect_caches() -> List[CollectedMetric]:
+    """Sum CacheStats counters across live caches (reads attrs directly —
+    no TTL sweeps, no lock contention beyond one dict read per cache)."""
+    caches = list(_CACHES)
+    if not caches:
+        return []
+    totals = {"hits": 0, "misses": 0, "evictions": 0, "size_evictions": 0,
+              "expired": 0, "invalidations": 0}
+    entries = 0
+    for cache in caches:
+        stats = cache.stats
+        for key in totals:
+            totals[key] += getattr(stats, key)
+        entries += len(cache)
+    rows = [
+        CollectedMetric(
+            name=f"repro_cache_{key}_total", kind="counter",
+            help=f"Factorization-cache {key.replace('_', ' ')} (all caches)",
+            samples=[({}, float(value))])
+        for key, value in totals.items()
+    ]
+    rows.append(CollectedMetric(
+        name="repro_cache_entries", kind="gauge",
+        help="Resident factorization-cache entries (all caches)",
+        samples=[({}, float(entries))]))
+    return rows
+
+
+def _collect_kernel_registries() -> List[CollectedMetric]:
+    registries = list(_KERNEL_REGISTRIES)
+    if not registries:
+        return []
+    registered = 0
+    ephemeral = 0
+    for kernel_registry in registries:
+        census = kernel_registry.census()
+        registered += census["registered"]
+        ephemeral += census["ephemeral"]
+    return [
+        CollectedMetric(name="repro_registry_kernels", kind="gauge",
+                        help="Registered kernels (all registries)",
+                        samples=[({}, float(registered))]),
+        CollectedMetric(name="repro_registry_ephemeral_kernels", kind="gauge",
+                        help="Ephemeral registrations (all registries)",
+                        samples=[({}, float(ephemeral))]),
+    ]
+
+
+_REGISTRY.register_collector(_collect_caches)
+_REGISTRY.register_collector(_collect_kernel_registries)

@@ -1,0 +1,115 @@
+"""Measured-cost feedback: online correction of planner wall-clock pricing.
+
+The planner prices every candidate backend for a round with a
+:class:`~repro.pram.cost.CalibratedCostModel` whose
+``WallClockCoefficients`` come from a one-shot probe at import time.  That
+calibration drifts — thermal throttling, noisy neighbors, a different BLAS
+— and drift goes straight into misrouted ``backend="auto"`` decisions.
+
+:class:`ObservedCostFeedback` closes the loop.  After each planned round it
+receives (predicted seconds, actual seconds) and folds the log-ratio into
+an EWMA keyed by ``(backend, family, shape bucket)``; at pricing time the
+planner multiplies each candidate's static estimate by
+``correction(backend, family, queries)``.  Working in log space makes the
+correction multiplicative and symmetric (a 2x underestimate and a 2x
+overestimate pull equally hard), the clamp bounds the damage one wild
+measurement can do, and bucketing query counts by powers of two keeps the
+key space small while separating the regimes that price differently.
+
+Determinism contract: feedback only rescales *predicted costs*, so it can
+change which backend a round routes to but never the sampled values —
+every backend is seed-identical by the engine's core invariant.  It is off
+by default and carries its own switch, separate from metrics/tracing, so
+observability can be on while routing stays static.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Tuple
+
+__all__ = ["ObservedCostFeedback", "shape_bucket"]
+
+
+def shape_bucket(queries: int) -> int:
+    """Bucket a batch width to the next power of two (1, 2, 4, ... 1024...)."""
+    q = max(1, int(queries))
+    return 1 << (q - 1).bit_length()
+
+
+class ObservedCostFeedback:
+    """EWMA correction of predicted round cost, keyed by routing regime.
+
+    ``alpha`` is the EWMA weight of each new observation; the first
+    observation for a key seeds the state directly so one mispriced regime
+    is corrected after a single measured round rather than asymptotically.
+    ``clamp`` bounds the multiplicative correction to ``[1/clamp, clamp]``.
+    """
+
+    def __init__(self, alpha: float = 0.25, clamp: float = 64.0,
+                 enabled: bool = False):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if clamp < 1.0:
+            raise ValueError("clamp must be >= 1")
+        self.alpha = float(alpha)
+        self.clamp = float(clamp)
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        # key -> (ewma of log(actual/predicted), observation count)
+        self._state: Dict[Tuple[str, str, int], Tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    def observe(self, backend: str, family: str, queries: int,
+                predicted_seconds: float, actual_seconds: float) -> None:
+        """Fold one measured round into the correction for its regime."""
+        if not self.enabled:
+            return
+        if predicted_seconds <= 0.0 or actual_seconds <= 0.0:
+            return
+        log_ratio = math.log(actual_seconds / predicted_seconds)
+        bound = math.log(self.clamp)
+        log_ratio = max(-bound, min(bound, log_ratio))
+        key = (str(backend), str(family), shape_bucket(queries))
+        with self._lock:
+            state = self._state.get(key)
+            if state is None:
+                self._state[key] = (log_ratio, 1)
+            else:
+                ewma, count = state
+                ewma += self.alpha * (log_ratio - ewma)
+                self._state[key] = (ewma, count + 1)
+
+    def correction(self, backend: str, family: str, queries: int) -> float:
+        """Multiplier for a candidate's predicted seconds; 1.0 when unknown."""
+        if not self.enabled:
+            return 1.0
+        key = (str(backend), str(family), shape_bucket(queries))
+        with self._lock:
+            state = self._state.get(key)
+        if state is None:
+            return 1.0
+        factor = math.exp(state[0])
+        return max(1.0 / self.clamp, min(self.clamp, factor))
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable view of every learned correction."""
+        with self._lock:
+            items = list(self._state.items())
+        corrections = [
+            {"backend": backend, "family": family, "shape_bucket": bucket,
+             "correction": math.exp(ewma), "observations": count}
+            for (backend, family, bucket), (ewma, count) in sorted(items)
+        ]
+        return {"enabled": self.enabled, "alpha": self.alpha,
+                "clamp": self.clamp, "corrections": corrections}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._state.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._state)

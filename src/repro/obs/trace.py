@@ -1,0 +1,134 @@
+"""Structured per-round tracing.
+
+A :class:`Tracer` keeps a bounded ring buffer of structured records — one
+per executed engine round (``type="round"``) plus discrete events
+(``type="event"``) such as intermediate-sampling acceptances/escalations or
+cluster failovers.  Records are plain dicts of JSON-serializable scalars so
+``json.dumps(tracer.spans())`` always works; numpy scalars are coerced at
+record time.
+
+Like the metrics registry, the tracer is gated by ``enabled`` and costs one
+boolean check per round when off.  The ring buffer bounds memory for
+long-running services: old spans fall off the left.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["Tracer"]
+
+
+def _coerce(value: object) -> object:
+    """Force a record field to a JSON-serializable scalar."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_coerce(v) for v in value]
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return _coerce(item())
+        except Exception:
+            pass
+    return str(value)
+
+
+class Tracer:
+    """Bounded, thread-safe buffer of per-round spans and discrete events."""
+
+    def __init__(self, capacity: int = 1024, enabled: bool = False):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.enabled = bool(enabled)
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._records: "deque[Dict[str, object]]" = deque(maxlen=self.capacity)
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_round(self, *, label: str, kind: str, family: str, backend: str,
+                     queries: int, wall_time: float,
+                     queue_wait: Optional[float] = None,
+                     predicted_seconds: Optional[float] = None,
+                     **extra: object) -> None:
+        """Record one executed engine round.
+
+        ``label`` is the round label (e.g. ``"counting round"``), ``kind``
+        the :class:`OracleBatch` kind, ``family`` the distribution family
+        (class name), ``backend`` the executing backend's name, ``queries``
+        the batch width, ``wall_time`` the measured seconds, ``queue_wait``
+        the submit→execute latency for scheduled rounds, and
+        ``predicted_seconds`` the planner's estimate when the round was
+        routed by ``auto``.
+        """
+        if not self.enabled:
+            return
+        record: Dict[str, object] = {
+            "type": "round",
+            "label": _coerce(label),
+            "kind": _coerce(kind),
+            "family": _coerce(family),
+            "backend": _coerce(backend),
+            "queries": int(queries),
+            "wall_time": float(wall_time),
+            "monotonic": time.perf_counter(),
+        }
+        if queue_wait is not None:
+            record["queue_wait"] = float(queue_wait)
+        if predicted_seconds is not None:
+            record["predicted_seconds"] = float(predicted_seconds)
+        for field, value in extra.items():
+            record[field] = _coerce(value)
+        self._append(record)
+
+    def event(self, category: str, **fields: object) -> None:
+        """Record a discrete event (acceptance, escalation, failover...)."""
+        if not self.enabled:
+            return
+        record: Dict[str, object] = {
+            "type": "event",
+            "category": _coerce(category),
+            "monotonic": time.perf_counter(),
+        }
+        for field, value in fields.items():
+            record[field] = _coerce(value)
+        self._append(record)
+
+    def _append(self, record: Dict[str, object]) -> None:
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._records.append(record)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[Dict[str, object]]:
+        """All buffered records, oldest first."""
+        with self._lock:
+            return [dict(record) for record in self._records]
+
+    def spans(self) -> List[Dict[str, object]]:
+        """Only the per-round spans."""
+        return [r for r in self.records() if r.get("type") == "round"]
+
+    def events(self, category: Optional[str] = None) -> List[Dict[str, object]]:
+        """Only the discrete events, optionally filtered by category."""
+        rows = [r for r in self.records() if r.get("type") == "event"]
+        if category is not None:
+            rows = [r for r in rows if r.get("category") == category]
+        return rows
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

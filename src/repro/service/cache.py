@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.dpp.kernels import ensemble_to_kernel
 from repro.dpp.likelihood import all_principal_minor_sums
 from repro.dpp.spectral import symmetrized_eigh
@@ -432,6 +433,9 @@ class FactorizationCache:
         self._ttls: Dict[str, Optional[float]] = {}
         self._touched: Dict[str, float] = {}
         self.stats = CacheStats()
+        # weakly tracked by the obs collector, which re-exports these
+        # counters at snapshot time — no per-operation metric writes here
+        obs.register_cache(self)
 
     # ------------------------------------------------------------------ #
     def factorization(self, matrix: np.ndarray, *,

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.dpp.kernels import validate_ensemble
 from repro.service.cache import FactorizationCache
 from repro.utils.fingerprint import kernel_fingerprint, partition_keys
@@ -87,6 +88,7 @@ class KernelRegistry:
         self._lock = threading.RLock()
         self._entries: Dict[str, RegisteredKernel] = {}
         self._ephemeral: Dict[str, _EphemeralState] = {}
+        obs.register_kernel_registry(self)
 
     # ------------------------------------------------------------------ #
     def register(self, name: str, matrix: np.ndarray, *, kind: str = "symmetric",
@@ -325,6 +327,16 @@ class KernelRegistry:
     def names(self) -> List[str]:
         with self._lock:
             return sorted(self._entries)
+
+    def census(self) -> Dict[str, int]:
+        """Registration counts alone — no TTL sweeps, no cache traffic.
+
+        The lightweight form the obs collector polls at export time;
+        :meth:`registry_info` is the full diagnostic (and sweeps the cache).
+        """
+        with self._lock:
+            return {"registered": len(self._entries),
+                    "ephemeral": len(self._ephemeral)}
 
     def registry_info(self) -> Dict[str, object]:
         """One-call snapshot of this registry for serving-layer diagnostics.

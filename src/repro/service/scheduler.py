@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.result import SampleResult
 from repro.engine import BackendLike, ExecutionBackend, OracleBatch, OracleBatchResult, resolve_backend
 from repro.pram.tracker import Tracker
@@ -64,6 +65,8 @@ class SampleTicket:
     result: Optional[SampleResult] = None
     error: Optional[BaseException] = None
     done: threading.Event = field(default_factory=threading.Event)
+    #: when the request entered the queue (drives the queue-wait histogram)
+    submitted_at: float = field(default_factory=time.perf_counter)
 
 
 @dataclass
@@ -131,6 +134,7 @@ class _FusionCoordinator:
     # ------------------------------------------------------------------ #
     def _flush(self, entries: List[_PendingExec]) -> None:
         self.fused_rounds += 1
+        obs.record_fusion(len(entries))
         for group in self._group(entries).values():
             try:
                 self._execute_group(group)
@@ -355,11 +359,13 @@ class RoundScheduler:
             self._queued.clear()
         if not tickets:
             return []
+        started = time.perf_counter()
         inner = resolve_backend(self._backend)
         for start in range(0, len(tickets), self.max_concurrency):
             self._drain_wave(tickets[start:start + self.max_concurrency], inner)
         with self._lock:
             self.drains += 1
+        obs.record_drain(time.perf_counter() - started, len(tickets))
         for ticket in tickets:
             if ticket.error is not None:
                 raise ticket.error
@@ -383,9 +389,12 @@ class RoundScheduler:
             self.executed_batches += coordinator.executed_batches
             self.submitted_batches += coordinator.submitted_batches
             self.shared_work += coordinator.shared_work
+        obs.record_batch_counts(coordinator.submitted_batches,
+                                coordinator.executed_batches)
 
     def _run_one(self, ticket: SampleTicket, coordinator: _FusionCoordinator) -> None:
         try:
+            obs.record_queue_wait(time.perf_counter() - ticket.submitted_at)
             proxy = _FusingBackend(coordinator)
             ticket.result = self.session.sample(
                 ticket.k, seed=ticket.seed, method=ticket.method, backend=proxy,

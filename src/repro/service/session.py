@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.batched import BatchedSamplerConfig, batched_sample
 from repro.core.entropic import EntropicSamplerConfig, sample_entropic_parallel
 from repro.core.result import SampleResult, SamplerReport
@@ -363,15 +364,9 @@ class SamplerSession:
     # ------------------------------------------------------------------ #
     @property
     def stats(self) -> Dict[str, object]:
-        """Serving statistics: cache counters plus per-session totals."""
-        info: Dict[str, object] = {
-            "kernel": self.entry.name,
-            "kind": self.entry.kind,
-            "n": self.entry.n,
-            "samples_served": self.samples_served,
-            "cache": self.cache.stats.as_dict(),
-            "cached_artifacts_bytes": self.cache.nbytes,
-        }
-        if self._scheduler is not None:
-            info["scheduler"] = self._scheduler.stats
-        return info
+        """Serving statistics: cache counters plus per-session totals.
+
+        Built by :func:`repro.obs.rollup.session_stats` — the documented
+        stable schema shared with every other stats surface.
+        """
+        return obs.session_stats(self)

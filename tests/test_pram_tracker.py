@@ -58,6 +58,61 @@ class TestTrackerRounds:
         assert t.round_log[0].work == pytest.approx(2.0)
 
 
+class TestRoundRecords:
+    """record_rounds=True keeps one labelled RoundRecord per outermost round."""
+
+    def test_labels_in_order(self):
+        t = Tracker(record_rounds=True)
+        for label in ("select", "filter", "commit"):
+            with t.round(label):
+                t.charge(work=1.0)
+        assert [r.label for r in t.round_log] == ["select", "filter", "commit"]
+
+    def test_nested_charges_attributed_to_outermost_record(self):
+        t = Tracker(record_rounds=True)
+        with t.round("outer"):
+            t.charge(work=1.0, machines=2.0, oracle_calls=1)
+            with t.round("inner"):
+                t.charge(work=4.0, machines=5.0, oracle_calls=2)
+        assert len(t.round_log) == 1
+        record = t.round_log[0]
+        assert record.label == "outer"
+        assert record.work == pytest.approx(5.0)
+        assert record.machines == pytest.approx(5.0)
+        assert record.oracle_calls == 3
+
+    def test_record_machines_is_per_round_peak(self):
+        t = Tracker(record_rounds=True)
+        with t.round("a"):
+            t.charge(machines=7.0)
+            t.charge(machines=3.0)
+        assert t.round_log[0].machines == pytest.approx(7.0)
+
+    def test_disabled_by_default(self):
+        t = Tracker()
+        with t.round("unlogged"):
+            t.charge(work=1.0)
+        assert t.round_log == []
+
+    def test_charges_outside_rounds_not_recorded(self):
+        t = Tracker(record_rounds=True)
+        t.charge(work=9.0)
+        with t.round("only"):
+            pass
+        t.charge(work=9.0)
+        assert t.round_log[0].work == pytest.approx(0.0)
+
+    def test_round_log_totals_match_tracker(self):
+        t = Tracker(record_rounds=True)
+        with t.round("a"):
+            t.charge(work=2.0, oracle_calls=3)
+        with t.round("b"):
+            t.charge(work=5.0, oracle_calls=1)
+        assert sum(r.work for r in t.round_log) == pytest.approx(t.work)
+        assert sum(r.oracle_calls for r in t.round_log) == t.oracle_calls
+        assert len(t.round_log) == t.rounds
+
+
 class TestTrackerCharges:
     def test_charge_accumulates(self):
         t = Tracker()
@@ -111,6 +166,42 @@ class TestTrackerMerging:
         b.charge(machines=6.0)
         parent.merge_parallel([a, b])
         assert parent.peak_machines == pytest.approx(10.0)
+
+    def test_merge_parallel_round_accounting(self):
+        """Depth is the max branch depth; work/oracle-calls sum; a parent
+        round opened before the merge still counts separately."""
+        parent = Tracker()
+        with parent.round("setup"):
+            parent.charge(oracle_calls=1)
+        branches = [parent.spawn() for _ in range(3)]
+        for depth, branch in zip((2, 4, 1), branches):
+            for _ in range(depth):
+                with branch.round():
+                    branch.charge_oracle(4, queries=2)
+        parent.merge_parallel(branches)
+        assert parent.rounds == 1 + 4
+        assert parent.oracle_calls == 1 + 2 * (2 + 4 + 1)
+
+    def test_merge_parallel_zero_depth_branches(self):
+        parent = Tracker()
+        a, b = parent.spawn(), parent.spawn()
+        a.charge(work=1.0)
+        b.charge(work=2.0)
+        parent.merge_parallel([a, b])
+        assert parent.rounds == 0
+        assert parent.work == pytest.approx(3.0)
+        # idle branches still occupy one machine each while active
+        assert parent.peak_machines == pytest.approx(2.0)
+
+    def test_spawn_does_not_record_rounds(self):
+        parent = Tracker(record_rounds=True)
+        child = parent.spawn()
+        with child.round("child-round"):
+            child.charge(work=1.0)
+        assert child.round_log == []
+        parent.merge_parallel([child])
+        assert parent.round_log == []
+        assert parent.rounds == 1
 
     def test_merge_sequential_adds_depth(self):
         parent = Tracker()
