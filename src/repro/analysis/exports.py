@@ -1,0 +1,135 @@
+"""R4 — export hygiene: stats/snapshot builders emit JSON-safe values only.
+
+``snapshot()`` / ``stats`` / ``cluster_info()`` payloads cross two
+boundaries: CI uploads them as JSON artifacts, and the cluster protocol
+ships them over sockets.  A numpy scalar, a set, a ``bytes`` blob, or —
+the classic slip — a lock object leaking into one of these dicts either
+crashes ``json.dumps`` or (worse) serializes differently per platform.
+
+The rule walks every ``return`` expression of an export builder and flags
+statically *known-unsafe* value expressions:
+
+* set displays / set comprehensions (not JSON; iteration order unstable),
+* ``bytes`` literals and ``lambda``s,
+* bare ``numpy.*`` calls (arrays and numpy scalars are not JSON types —
+  wrap in ``int()`` / ``float()`` / ``list()``),
+* a raw ``self.<lock>`` read for any lock declared in ``_GUARDED_BY``.
+
+Coercion wrappers (``int``, ``float``, ``str``, ``bool``, ``list``,
+``dict``, ``sorted``, ``len``, ``round``, ``min``, ``max``, ``sum``,
+``abs``, ``tuple``) sanitize their argument, so anything under one is
+accepted without further inspection.  Opaque calls (helper methods) are
+trusted — the rule is a tripwire for the constructs that are wrong on
+their face, not a type system.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set, Union
+
+from repro.analysis.locks import guarded_by_of_class
+from repro.analysis.report import Violation
+from repro.analysis.rulebase import Rule, RuleContext, dotted_name, import_aliases, resolve, self_attr
+
+__all__ = ["ExportHygieneRule"]
+
+#: method/property names treated as export builders
+_EXPORT_NAMES = {"snapshot", "stats", "cluster_info", "as_dict"}
+
+#: builtins that coerce their argument into a JSON-safe value
+_SANITIZERS = {"int", "float", "str", "bool", "list", "dict", "sorted", "len",
+               "round", "min", "max", "sum", "abs", "tuple", "repr", "format"}
+
+
+class ExportHygieneRule(Rule):
+    id = "R4"
+    summary = ("export hygiene: snapshot()/stats/cluster_info() return only "
+               "JSON-safe values (no sets, bytes, numpy objects, or locks)")
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        aliases = import_aliases(ctx.tree)
+        module_classes = {node.name: node for node in ctx.tree.body
+                         if isinstance(node, ast.ClassDef)}
+        for cls in module_classes.values():
+            lock_names = set(guarded_by_of_class(cls, module_classes))
+            for stmt in cls.body:
+                if (isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt.name in _EXPORT_NAMES):
+                    yield from self._check_builder(ctx, cls.name, stmt,
+                                                   aliases, lock_names)
+
+    def _check_builder(self, ctx: RuleContext, class_name: str,
+                       func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                       aliases: Dict[str, str],
+                       lock_names: Set[str]) -> Iterator[Violation]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                yield from self._check_value(ctx, class_name, func.name,
+                                             node.value, aliases, lock_names)
+
+    def _check_value(self, ctx: RuleContext, class_name: str, builder: str,
+                     expr: ast.expr, aliases: Dict[str, str],
+                     lock_names: Set[str]) -> Iterator[Violation]:
+        where = f"{class_name}.{builder}"
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            yield ctx.violation(
+                self.id, "set-in-export", expr,
+                f"{where} emits a set: not JSON-serializable and iteration "
+                "order is hash-seed dependent; emit sorted(...) instead")
+            return
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, bytes):
+            yield ctx.violation(
+                self.id, "bytes-in-export", expr,
+                f"{where} emits a bytes literal: not JSON-serializable")
+            return
+        if isinstance(expr, ast.Lambda):
+            yield ctx.violation(
+                self.id, "callable-in-export", expr,
+                f"{where} emits a lambda: not JSON-serializable")
+            return
+        attr = self_attr(expr)
+        if attr is not None and attr in lock_names:
+            yield ctx.violation(
+                self.id, "lock-in-export", expr,
+                f"{where} emits self.{attr}, a lock object declared in "
+                "_GUARDED_BY: locks must never leave the instance")
+            return
+        if isinstance(expr, ast.Call):
+            name = dotted_name(expr.func)
+            if name is not None:
+                resolved = resolve(aliases, name)
+                if resolved in _SANITIZERS:
+                    return  # coercion wrapper sanitizes whatever is inside
+                if resolved.split(".")[0] == "numpy":
+                    yield ctx.violation(
+                        self.id, "numpy-in-export", expr,
+                        f"{where} emits the result of {resolved}(): numpy "
+                        "arrays/scalars are not JSON types; coerce with "
+                        "int()/float()/list()")
+                    return
+            # opaque helper call — trusted
+            return
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is not None:
+                    yield from self._check_value(ctx, class_name, builder,
+                                                 value, aliases, lock_names)
+            return
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            for element in expr.elts:
+                yield from self._check_value(ctx, class_name, builder,
+                                             element, aliases, lock_names)
+            return
+        if isinstance(expr, ast.IfExp):
+            yield from self._check_value(ctx, class_name, builder, expr.body,
+                                         aliases, lock_names)
+            yield from self._check_value(ctx, class_name, builder, expr.orelse,
+                                         aliases, lock_names)
+            return
+        if isinstance(expr, (ast.DictComp, ast.ListComp, ast.GeneratorExp)):
+            inner = expr.value if isinstance(expr, ast.DictComp) else expr.elt
+            yield from self._check_value(ctx, class_name, builder, inner,
+                                         aliases, lock_names)
+            return
+        # Names, attribute reads, arithmetic, f-strings: accepted

@@ -1,0 +1,87 @@
+"""``# repro: allow[...]`` pragma parsing.
+
+A pragma allowlists specific rule hits on one line of source::
+
+    rng = np.random.default_rng()  # repro: allow[R1] -- calibration probe, never feeds a sample
+
+Syntax: ``# repro: allow[<rules>] -- <justification>`` where ``<rules>`` is a
+comma-separated list of rule families (``R1``) and/or specific codes
+(``R1.unseeded-default-rng``).  The justification after ``--`` is
+**mandatory**: a pragma without one is itself reported (``P0``) and does not
+suppress anything, so the allowlist stays an auditable record of *why* each
+exception is safe rather than a mute button.  A pragma on a comment-only line
+applies to the next source line; otherwise it applies to its own line.
+
+Pragmas that suppress nothing in a run are reported too (``P0[unused]``):
+stale allowlist entries hide future regressions on their line.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["Pragma", "collect_pragmas", "PRAGMA_PATTERN"]
+
+PRAGMA_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed allowlist pragma."""
+
+    line: int
+    applies_to: int
+    rules: Tuple[str, ...]
+    justification: str = ""
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+    def covers(self, rule: str, code: str) -> bool:
+        """Whether this pragma suppresses a hit of ``rule`` / ``rule.code``."""
+        return rule in self.rules or f"{rule}.{code}" in self.rules
+
+
+def collect_pragmas(source: str) -> Dict[int, List[Pragma]]:
+    """Map *effective* line numbers to the pragmas that apply there.
+
+    Tokenizes rather than greps so ``# repro:`` inside string literals is
+    never mistaken for a pragma.  A pragma whose line holds no code applies
+    to the next line (the conventional standalone-comment placement).
+    """
+    pragmas: List[Pragma] = []
+    code_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return {}
+    for token in tokens:
+        kind, text, start = token.type, token.string, token.start
+        if kind == tokenize.COMMENT:
+            match = PRAGMA_PATTERN.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            pragmas.append(Pragma(
+                line=start[0], applies_to=start[0], rules=rules,
+                justification=(match.group("why") or "").strip(),
+            ))
+        elif kind not in (tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+                          tokenize.DEDENT, tokenize.ENDMARKER, tokenize.ENCODING):
+            code_lines.add(start[0])
+    table: Dict[int, List[Pragma]] = {}
+    for pragma in pragmas:
+        if pragma.line not in code_lines:
+            pragma.applies_to = pragma.line + 1
+        table.setdefault(pragma.applies_to, []).append(pragma)
+    return table

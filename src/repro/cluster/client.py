@@ -77,6 +77,9 @@ class ClusterClient:
     the ids (or injected for tests).  All methods are thread-safe.
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_connections", "_catalog", "failovers")}
+
     def __init__(self, addresses: Dict[str, Tuple[str, int]], *,
                  replication: int = 1, ring: Optional[HashRing] = None,
                  vnodes: int = DEFAULT_VNODES, timeout: float = 30.0):
@@ -258,9 +261,10 @@ class ClusterClient:
     # ------------------------------------------------------------------ #
     # membership & rebalance
     # ------------------------------------------------------------------ #
-    def _catalog_by_fingerprint(self) -> Dict[str, List[_CatalogEntry]]:
+    def _catalog_by_fingerprint_locked(self) -> Dict[str, List[_CatalogEntry]]:
         """Registered entries grouped by content (several names may share one
-        fingerprint; every name must survive a move, not just one of them)."""
+        fingerprint; every name must survive a move, not just one of them).
+        Caller holds ``self._lock`` (the ``_locked`` suffix contract)."""
         grouped: Dict[str, List[_CatalogEntry]] = {}
         for entry in self._catalog.values():
             grouped.setdefault(entry.fingerprint, []).append(entry)
@@ -274,7 +278,7 @@ class ClusterClient:
         report's ``moved``/``moved_fraction`` make that checkable.
         """
         with self._lock:
-            grouped = self._catalog_by_fingerprint()
+            grouped = self._catalog_by_fingerprint_locked()
             before = self.ring.ownership(grouped, self.replication)
             self.addresses[str(node_id)] = (address[0], int(address[1]))
             self.ring.add_node(node_id)
@@ -296,7 +300,7 @@ class ClusterClient:
                     f"cannot remove {node_id!r}: it is the last ring node, "
                     "there is nowhere to re-home its kernels"
                 )
-            grouped = self._catalog_by_fingerprint()
+            grouped = self._catalog_by_fingerprint_locked()
             before = self.ring.ownership(grouped, self.replication)
             self.ring.remove_node(node_id)
             after = self.ring.ownership(grouped, self.replication)
@@ -384,10 +388,18 @@ class ClusterClient:
                 nodes[node_id] = self.call_node(node_id, {"op": "stats"})
             except NodeUnavailable as exc:
                 nodes[node_id] = {"unreachable": str(exc)}
+        with self._lock:  # one consistent snapshot of catalog size + failovers
+            registered = len(self._catalog)
+            failovers = self.failovers
         return obs.cluster_rollup(
             nodes, ring_nodes=self.ring.nodes, vnodes=self.ring.vnodes,
-            replication=self.replication, registered=len(self._catalog),
-            failovers=self.failovers)
+            replication=self.replication, registered=registered,
+            failovers=failovers)
+
+    def failover_count(self) -> int:
+        """Locked read of the replica-failover counter (for stats builders)."""
+        with self._lock:
+            return self.failovers
 
     def close(self) -> None:
         with self._lock:
@@ -406,6 +418,9 @@ class ClusterSession:
     and per-call ``backend`` overrides do not ship) and that ``close`` only
     releases client state (shard registrations are durable by design).
     """
+
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_queue", "_submitted", "_closed", "samples_served")}
 
     def __init__(self, client: ClusterClient, entry: _CatalogEntry, *,
                  scheduler_seed: SeedLike = 0, owned_cluster=None):
@@ -443,10 +458,13 @@ class ClusterSession:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def _check_open(self) -> None:
-        if self._closed:
+        with self._lock:
+            closed = self._closed
+        if closed:
             raise RuntimeError(f"cluster session on kernel {self.name!r} is closed")
 
     # ------------------------------------------------------------------ #
@@ -546,13 +564,15 @@ class ClusterSession:
     # ------------------------------------------------------------------ #
     @property
     def stats(self) -> Dict[str, object]:
+        with self._lock:
+            samples_served = self.samples_served
         return {
             "kernel": self.name,
             "kind": self.kind,
             "n": self.n,
             "owners": list(self.owners),
-            "samples_served": self.samples_served,
-            "failovers": self._client.failovers,
+            "samples_served": samples_served,
+            "failovers": self._client.failover_count(),
         }
 
     def close(self) -> None:

@@ -39,6 +39,9 @@ class LocalCluster:
         idle TTL for node factorization caches).
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("nodes", "_next_index")}
+
     def __init__(self, nodes: int = 3, *, replication: int = 1,
                  vnodes: int = DEFAULT_VNODES, backend: BackendLike = None,
                  cache_ttl: Optional[float] = None, node_prefix: str = "shard"):
@@ -76,7 +79,10 @@ class LocalCluster:
         return self._client.replication
 
     def node(self, node_id: str) -> ShardNode:
-        return self.nodes[str(node_id)]
+        # Locked lookup: a concurrent add_node/forget_node mutates the dict,
+        # and an unlocked read could observe it mid-rehash.
+        with self._lock:
+            return self.nodes[str(node_id)]
 
     # ------------------------------------------------------------------ #
     # membership
@@ -110,7 +116,10 @@ class LocalCluster:
         :meth:`forget_node` (or :meth:`remove_node` for a planned drain)
         once the operator gives up on it.
         """
-        node = self.nodes[str(node_id)]
+        with self._lock:
+            node = self.nodes[str(node_id)]
+        # stop() outside the cluster lock: it joins the node's listener
+        # thread, and membership operations must not stall behind that
         node.stop()
         return node
 

@@ -70,6 +70,10 @@ class ShardNode:
         :meth:`start`).
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_sessions", "_connections", "_stopped",
+                             "_listener", "requests_served")}
+
     def __init__(self, node_id: str, *, registry: Optional[KernelRegistry] = None,
                  cache: Optional[FactorizationCache] = None,
                  cache_ttl: Optional[float] = None,
@@ -303,7 +307,7 @@ class ShardNode:
         return {
             "node": self.node_id,
             "requests_served": requests,
-            "samples_served": sum(s.samples_served for s in sessions),
+            "samples_served": sum(s.serving_counters()[0] for s in sessions),
             "open_sessions": len(sessions),
             "registry": self.registry.registry_info(),
         }

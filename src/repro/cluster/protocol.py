@@ -93,6 +93,9 @@ def recv_frame(sock: socket.socket) -> object:
 class Connection:
     """One client's lazily connected, serially used channel to a node."""
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_sock",)}
+
     def __init__(self, address: Tuple[str, int], *, timeout: float = 30.0):
         self.address = (str(address[0]), int(address[1]))
         self.timeout = float(timeout)

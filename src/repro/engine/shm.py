@@ -111,6 +111,9 @@ class SharedArrayStore:
     backend publish through the same store.
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_segments",)}
+
     def __init__(self, capacity: int = 64):
         if capacity < 1:
             raise ValueError(f"capacity must be positive, got {capacity}")

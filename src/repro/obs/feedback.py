@@ -47,6 +47,9 @@ class ObservedCostFeedback:
     ``clamp`` bounds the multiplicative correction to ``[1/clamp, clamp]``.
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_state",)}
+
     def __init__(self, alpha: float = 0.25, clamp: float = 64.0,
                  enabled: bool = False):
         if not 0.0 < alpha <= 1.0:

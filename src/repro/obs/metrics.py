@@ -94,6 +94,10 @@ class _Instrument:
 
     kind = "untyped"
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race
+    #: harness); Counter/Gauge/Histogram inherit this declaration
+    _GUARDED_BY = {"_lock": ("_values",)}
+
     def __init__(self, registry: "MetricsRegistry", name: str, help: str,
                  labelnames: Sequence[str]):
         self._registry = registry
@@ -270,6 +274,9 @@ class MetricsRegistry:
     asking twice with a consistent (kind, labelnames) signature returns the
     same object, a mismatch raises.
     """
+
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_instruments", "_collectors")}
 
     def __init__(self, enabled: bool = False):
         self.enabled = bool(enabled)

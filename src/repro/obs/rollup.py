@@ -54,15 +54,17 @@ CACHE_TOTAL_KEYS = ("hits", "misses", "evictions", "size_evictions",
 
 def session_stats(session) -> Dict[str, object]:
     """Build the stable ``SamplerSession.stats`` dict (schema above)."""
+    # samples_served and the scheduler handle are guarded session state:
+    # take them in one locked snapshot instead of reading the attributes
+    samples_served, scheduler = session.serving_counters()
     info: Dict[str, object] = {
         "kernel": session.entry.name,
         "kind": session.entry.kind,
         "n": session.entry.n,
-        "samples_served": session.samples_served,
+        "samples_served": samples_served,
         "cache": session.cache.stats.as_dict(),
         "cached_artifacts_bytes": session.cache.nbytes,
     }
-    scheduler = getattr(session, "_scheduler", None)
     if scheduler is not None:
         info["scheduler"] = scheduler.stats
     return info

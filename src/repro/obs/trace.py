@@ -40,6 +40,9 @@ def _coerce(value: object) -> object:
 class Tracer:
     """Bounded, thread-safe buffer of per-round spans and discrete events."""
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_records", "_seq")}
+
     def __init__(self, capacity: int = 1024, enabled: bool = False):
         if capacity < 1:
             raise ValueError("tracer capacity must be >= 1")

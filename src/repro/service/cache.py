@@ -88,6 +88,9 @@ class KernelFactorization:
     on each other's unrelated ESP tables).
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_values", "_inflight")}
+
     def __init__(self, matrix: np.ndarray, fingerprint: Optional[str] = None):
         a = np.asarray(matrix, dtype=float)
         if a.flags.writeable:
@@ -408,6 +411,9 @@ class FactorizationCache:
 
     #: sentinel distinguishing "no per-entry ttl given" from an explicit None
     _TTL_UNSET = object()
+
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_entries", "_sizes", "_total_bytes", "_ttls", "_touched")}
 
     def __init__(self, capacity: int = 32, *, max_bytes: Optional[int] = None,
                  ttl: Optional[float] = None,

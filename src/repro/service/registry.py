@@ -77,6 +77,9 @@ class KernelRegistry:
     behavior); ``clock`` is injectable for tests and must be monotonic.
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_entries", "_ephemeral")}
+
     def __init__(self, cache: Optional[FactorizationCache] = None, *,
                  anonymous_ttl: Optional[float] = DEFAULT_ANONYMOUS_TTL,
                  clock: Callable[[], float] = time.monotonic):

@@ -281,6 +281,10 @@ class RoundScheduler:
     submission order.
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_queued", "_submitted", "drains", "fused_rounds",
+                             "executed_batches", "submitted_batches", "shared_work")}
+
     def __init__(self, session, *, backend: BackendLike = None, seed: SeedLike = None,
                  max_concurrency: int = 64):
         if max_concurrency < 1:
@@ -408,10 +412,14 @@ class RoundScheduler:
     # ------------------------------------------------------------------ #
     @property
     def stats(self) -> Dict[str, object]:
-        return {
-            "drains": self.drains,
-            "fused_rounds": self.fused_rounds,
-            "submitted_batches": self.submitted_batches,
-            "executed_batches": self.executed_batches,
-            "shared_work": self.shared_work,
-        }
+        # Snapshot under the lock: a concurrent drain() merges several
+        # counters at once, and an unlocked read could observe a drain whose
+        # fused_rounds had landed but whose executed_batches had not.
+        with self._lock:
+            return {
+                "drains": self.drains,
+                "fused_rounds": self.fused_rounds,
+                "submitted_batches": self.submitted_batches,
+                "executed_batches": self.executed_batches,
+                "shared_work": self.shared_work,
+            }

@@ -63,6 +63,9 @@ class SamplerSession:
     scoped handles, not process-lifetime globals.
     """
 
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_distributions", "_scheduler", "_closed", "samples_served")}
+
     def __init__(self, entry: RegisteredKernel, cache: Optional[FactorizationCache] = None, *,
                  backend: BackendLike = None, registry=None):
         self.entry = entry
@@ -97,10 +100,15 @@ class SamplerSession:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        # The lock (an RLock — close()/scheduler() may already hold it)
+        # makes close() visible to other threads before they start a draw.
+        with self._lock:
+            return self._closed
 
     def _check_open(self) -> None:
-        if self._closed:
+        with self._lock:
+            closed = self._closed
+        if closed:
             raise RuntimeError(
                 f"session on kernel {self.entry.name!r} is closed"
             )
@@ -362,6 +370,16 @@ class SamplerSession:
         return self.scheduler().drain()
 
     # ------------------------------------------------------------------ #
+    def serving_counters(self) -> Tuple[int, object]:
+        """Locked snapshot of ``(samples_served, scheduler)`` for stats builders.
+
+        External readers (``repro.obs.rollup.session_stats``) must come
+        through here rather than reading the guarded attributes directly —
+        the race harness enforces exactly that.
+        """
+        with self._lock:
+            return self.samples_served, self._scheduler
+
     @property
     def stats(self) -> Dict[str, object]:
         """Serving statistics: cache counters plus per-session totals.
