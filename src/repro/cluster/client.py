@@ -42,6 +42,17 @@ class _CatalogEntry:
     fingerprint: str
     kind: str
     n: int
+    #: placement-stable routing identity: the *base* of the kernel's update
+    #: chain (equal to ``fingerprint`` until the first incremental update).
+    #: Routing by it keeps a mutating kernel on its owners — updates ship
+    #: deltas instead of triggering ring moves.
+    route: str = ""
+    #: how many incremental updates the chain has absorbed
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.route:
+            self.route = self.fingerprint
 
 
 @dataclass
@@ -217,7 +228,10 @@ class ClusterClient:
             info = catalog.get(name)
             if info is not None:
                 entry = _CatalogEntry(name=name, fingerprint=info["fingerprint"],
-                                      kind=info["kind"], n=info["n"])
+                                      kind=info["kind"], n=info["n"],
+                                      route=info.get("base_fingerprint")
+                                      or info["fingerprint"],
+                                      epoch=int(info.get("epoch", 0)))
                 with self._lock:
                     self._catalog[name] = entry
                 return entry
@@ -238,17 +252,65 @@ class ClusterClient:
     def sample(self, name: str, k: Optional[int] = None, *, seed: SeedLike = None,
                method: Optional[str] = None, delta: float = 1e-2):
         entry = self.lookup(name)
-        return self.call(entry.fingerprint, {
+        return self.call(entry.route, {
             "op": "sample", "name": name, "k": k, "seed": _wire_seed(seed),
             "method": method, "delta": delta,
         })
+
+    def update(self, name: str, update, *, refactor: object = "auto") -> _CatalogEntry:
+        """Apply an incremental kernel update on every owner — shipping only
+        the delta (``update.delta_nbytes`` bytes of arrays), never the
+        mutated matrix.
+
+        The client derives the successor fingerprint from the chain
+        (:meth:`~repro.linalg.updates.KernelUpdate.chained_fingerprint`) and
+        *verifies* each accepting owner reports exactly that fingerprint — a
+        replica whose chain diverged (e.g. re-registered cold by a rebalance,
+        which collapses the chain to a content fingerprint; the documented
+        limitation of mixing rebalances with in-flight updates) fails loudly
+        instead of serving from a forked kernel.  Routing stays on the chain's
+        *base* fingerprint, so updates never move a kernel across the ring.
+        """
+        entry = self.lookup(name)
+        expected = update.chained_fingerprint(entry.fingerprint)
+        request = {"op": "update", "name": name, "update": update,
+                   "prev": entry.fingerprint, "refactor": refactor}
+        obs.record_update_delta(update.delta_nbytes)
+        accepted = 0
+        new_n = entry.n
+        last_error: Optional[BaseException] = None
+        for node_id in self.owners(entry.route):
+            try:
+                info = self.call_node(node_id, request)
+            except (NodeUnavailable, KeyError) as exc:
+                # unreachable, or a replica that never received this kernel
+                last_error = exc
+                continue
+            if info["fingerprint"] != expected:
+                raise ClusterError(
+                    f"node {node_id} applied an update to {name!r} but landed on "
+                    f"chain fingerprint {info['fingerprint'][:12]}, client "
+                    f"derived {expected[:12]} — replica chain diverged"
+                )
+            accepted += 1
+            new_n = int(info["n"])
+        if not accepted:
+            raise ClusterError(
+                f"no owner of {name!r} accepted the update"
+            ) from last_error
+        new_entry = _CatalogEntry(name=name, fingerprint=expected, kind=entry.kind,
+                                  n=new_n, route=entry.route,
+                                  epoch=entry.epoch + 1)
+        with self._lock:
+            self._catalog[name] = new_entry
+        return new_entry
 
     def warm(self, name: str) -> int:
         """Warm the kernel on every reachable owner; returns how many warmed."""
         entry = self.lookup(name)
         warmed = 0
         last_error: Optional[BaseException] = None
-        for node_id in self.owners(entry.fingerprint):
+        for node_id in self.owners(entry.route):
             try:
                 self.call_node(node_id, {"op": "warm", "name": name})
                 warmed += 1
@@ -267,7 +329,7 @@ class ClusterClient:
         Caller holds ``self._lock`` (the ``_locked`` suffix contract)."""
         grouped: Dict[str, List[_CatalogEntry]] = {}
         for entry in self._catalog.values():
-            grouped.setdefault(entry.fingerprint, []).append(entry)
+            grouped.setdefault(entry.route, []).append(entry)
         return grouped
 
     def add_node(self, node_id: str, address: Tuple[str, int]) -> RebalanceReport:
@@ -420,7 +482,8 @@ class ClusterSession:
     """
 
     #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
-    _GUARDED_BY = {"_lock": ("_queue", "_submitted", "_closed", "samples_served")}
+    _GUARDED_BY = {"_lock": ("_entry", "_queue", "_submitted", "_closed",
+                             "samples_served")}
 
     def __init__(self, client: ClusterClient, entry: _CatalogEntry, *,
                  scheduler_seed: SeedLike = 0, owned_cluster=None):
@@ -436,25 +499,36 @@ class ClusterSession:
 
     # ------------------------------------------------------------------ #
     @property
+    def entry(self) -> _CatalogEntry:
+        """Snapshot of the served catalog entry (swapped atomically by updates)."""
+        with self._lock:
+            return self._entry
+
+    @property
     def name(self) -> str:
-        return self._entry.name
+        return self.entry.name
 
     @property
     def kind(self) -> str:
-        return self._entry.kind
+        return self.entry.kind
 
     @property
     def n(self) -> int:
-        return self._entry.n
+        return self.entry.n
 
     @property
     def fingerprint(self) -> str:
-        return self._entry.fingerprint
+        return self.entry.fingerprint
+
+    @property
+    def epoch(self) -> int:
+        """How many incremental updates this kernel has absorbed."""
+        return self.entry.epoch
 
     @property
     def owners(self) -> Tuple[str, ...]:
         """Current replica set (primary first) — changes with the ring."""
-        return self._client.owners(self._entry.fingerprint)
+        return self._client.owners(self.entry.route)
 
     @property
     def closed(self) -> bool:
@@ -487,7 +561,7 @@ class ClusterSession:
                 "backend/tracker are node-side concerns in a cluster: set the "
                 "backend on the ShardNode, read reports from the result"
             )
-        result = self._client.call(self._entry.fingerprint, {
+        result = self._client.call(self.entry.route, {
             "op": "sample", "name": self.name, "k": k, "seed": _wire_seed(seed),
             "method": method, "delta": delta,
         })
@@ -500,6 +574,45 @@ class ClusterSession:
         self._check_open()
         self._client.warm(self.name)
         return self
+
+    # ------------------------------------------------------------------ #
+    # streaming kernels: ship deltas, never the mutated matrix
+    # ------------------------------------------------------------------ #
+    def update(self, u: np.ndarray, v: Optional[np.ndarray] = None, *,
+               weight: float = 1.0, refactor: object = "auto") -> _CatalogEntry:
+        """Rank-1 update ``L += weight * u v^T`` on every owning shard.
+
+        Only the update vectors cross the wire (O(n) bytes, not the O(n²)
+        matrix); each owner patches its cached factorization via
+        :meth:`~repro.service.registry.KernelRegistry.apply_update` and its
+        live session adopts the new epoch.  Same contract as
+        :meth:`repro.service.session.SamplerSession.update`.
+        """
+        from repro.linalg.updates import KernelUpdate
+
+        return self._apply_update(KernelUpdate.rank_one(u, v, weight=weight),
+                                  refactor)
+
+    def append_items(self, rows: np.ndarray, *,
+                     refactor: object = "auto") -> _CatalogEntry:
+        """Grow a low-rank kernel's ground set on every owning shard."""
+        from repro.linalg.updates import KernelUpdate
+
+        return self._apply_update(KernelUpdate.append_rows(rows), refactor)
+
+    def delete_items(self, indices, *, refactor: object = "auto") -> _CatalogEntry:
+        """Shrink a low-rank kernel's ground set on every owning shard."""
+        from repro.linalg.updates import KernelUpdate
+
+        return self._apply_update(KernelUpdate.delete_rows(indices), refactor)
+
+    def _apply_update(self, update, refactor: object) -> _CatalogEntry:
+        self._check_open()
+        entry = self._client.update(self.name, update, refactor=refactor)
+        with self._lock:
+            if entry.epoch >= self._entry.epoch:
+                self._entry = entry
+        return entry
 
     # ------------------------------------------------------------------ #
     # fused batches: queue client-side, fuse node-side
@@ -548,7 +661,7 @@ class ClusterSession:
         if not queue:
             return []
         try:
-            results = self._client.call(self._entry.fingerprint, {
+            results = self._client.call(self.entry.route, {
                 "op": "drain", "name": self.name, "requests": queue,
                 "seed": self._root_seed if not isinstance(
                     self._root_seed, np.random.SeedSequence) else 0,

@@ -14,6 +14,8 @@ register register a kernel (validation + fingerprint happen node-side)
 warm     precompute a kernel's factorization artifacts
 sample   one draw through a node-side :class:`SamplerSession`
 drain    a batch of draws fused node-side by a :class:`RoundScheduler`
+update   apply an incremental kernel delta (rank-1 / row append / delete)
+         to the node's replica — patching cached artifacts in place
 stats    node census: sessions served + ``registry_info()`` rollup
 catalog  ``name -> (fingerprint, kind)`` of everything registered
 export   full kernel payload (matrix + structure) for rebalance moves
@@ -245,7 +247,31 @@ class ShardNode:
                                        counts=counts, validate=validate,
                                        overwrite=False, warm=warm)
         return {"name": entry.name, "fingerprint": entry.fingerprint,
+                "base_fingerprint": entry.route_fingerprint,
+                "epoch": entry.epoch,
                 "kind": entry.kind, "n": entry.n, "node": self.node_id}
+
+    def _op_update(self, name: str, update, prev: Optional[str] = None,
+                   refactor: object = "auto"):
+        """Apply one kernel delta to this node's replica.
+
+        ``prev`` is the client's view of the current chain tip; a replica
+        whose chain has diverged (e.g. re-registered after a rebalance that
+        collapsed the chain) refuses the delta instead of silently forking.
+        The node's live session for the kernel adopts the new epoch, so
+        queued/fused draws pick it up exactly like a local session would.
+        """
+        entry = self.registry.apply_update(name, update, refactor=refactor,
+                                           expect_fingerprint=prev)
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is not None and not session.closed:
+            session.adopt_entry(entry)
+        decision = entry.update_log[-1].decision if entry.update_log else "patched"
+        return {"name": entry.name, "fingerprint": entry.fingerprint,
+                "base_fingerprint": entry.route_fingerprint,
+                "epoch": entry.epoch, "n": entry.n,
+                "decision": decision, "node": self.node_id}
 
     def _op_unregister(self, name: str):
         with self._lock:
@@ -290,7 +316,9 @@ class ShardNode:
             except KeyError:  # pragma: no cover - concurrent unregister
                 continue
             catalog[name] = {"fingerprint": entry.fingerprint, "kind": entry.kind,
-                             "n": entry.n}
+                             "n": entry.n,
+                             "base_fingerprint": entry.route_fingerprint,
+                             "epoch": entry.epoch}
         return catalog
 
     def _op_export(self, name: str):
@@ -298,7 +326,9 @@ class ShardNode:
         entry = self.registry.get(name)
         return {"name": entry.name, "matrix": np.asarray(entry.matrix),
                 "kind": entry.kind, "parts": entry.parts, "counts": entry.counts,
-                "fingerprint": entry.fingerprint}
+                "fingerprint": entry.fingerprint,
+                "base_fingerprint": entry.route_fingerprint,
+                "epoch": entry.epoch}
 
     def _op_stats(self):
         with self._lock:

@@ -51,7 +51,9 @@ class NodeUnavailable(ClusterError):
 
     Transport-level only: the request may or may not have executed, which is
     safe here because every cluster op is idempotent (register is
-    content-idempotent, sampling is seed-deterministic).
+    content-idempotent, sampling is seed-deterministic, and ``update`` is
+    chain-guarded — a replayed delta fails its ``prev`` fingerprint check
+    instead of applying twice).
     """
 
 

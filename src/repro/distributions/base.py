@@ -54,6 +54,11 @@ class SubsetDistribution(abc.ABC):
     #: ground set size
     n: int
 
+    #: fingerprint-chain depth of the backing kernel (0 = cold registration);
+    #: the serving layer stamps it so the planner can price the incremental
+    #: update path against a full refactorization (``OracleCostHint.update_depth``)
+    update_depth: int = 0
+
     # ------------------------------------------------------------------ #
     # the two structural primitives
     # ------------------------------------------------------------------ #
@@ -155,7 +160,8 @@ class SubsetDistribution(abc.ABC):
         Structured subclasses override with their real profile.
         """
         return OracleCostHint(matrix_order=self.n, python_fraction=1.0,
-                              batch_vectorized=False)
+                              batch_vectorized=False,
+                              update_depth=self.update_depth)
 
     # ------------------------------------------------------------------ #
     # derived quantities

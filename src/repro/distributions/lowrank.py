@@ -305,7 +305,8 @@ class _LowRankOracleMixin:
         pay the process pool's dispatch overhead.
         """
         return OracleCostHint(matrix_order=self.n, python_fraction=0.05,
-                              batch_vectorized=True, rank=self.rank)
+                              batch_vectorized=True, rank=self.rank,
+                              update_depth=self.update_depth)
 
     # ------------------------------------------------------------------ #
     # shared numerical pieces

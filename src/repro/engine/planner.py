@@ -62,7 +62,8 @@ from repro.pram.cost import (
 )
 from repro.pram.tracker import Tracker
 
-__all__ = ["PlanDecision", "RoundPlanner", "AutoBackend", "probe_dispatch_overhead"]
+__all__ = ["PlanDecision", "RoundPlanner", "AutoBackend", "probe_dispatch_overhead",
+           "should_refactorize"]
 
 #: batch kinds the planner arbitrates; the other kinds are fixed-route
 PLANNED_KINDS = ("counting", "joint_marginals", "log_principal_minors")
@@ -100,6 +101,26 @@ def probe_dispatch_overhead(backend: ExecutionBackend, repeats: int = 3) -> floa
         backend.execute(batch(), tracker=Tracker())
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def should_refactorize(hint: OracleCostHint, *,
+                       model: Optional[CalibratedCostModel] = None,
+                       cap: int = 64) -> bool:
+    """Patch-vs-recompute policy for incremental kernel updates.
+
+    ``True`` when ``hint.update_depth`` (the mutation's position in the
+    fingerprint chain) has reached the calibrated break-even depth — the
+    point where the cumulative cost of ``O(n²)`` secular patches has paid
+    for one cold ``O(n³)`` refactorization, making the refresh (which also
+    resets accumulated patch rounding) amortized-free.  Factor-backed
+    (``rank``-set) kernels patch exactly, so they refactorize only at the
+    ``cap``.  This is the decision behind ``refactor="auto"`` on
+    :meth:`repro.service.registry.KernelRegistry.apply_update` and the
+    session/cluster ``update()`` facades.
+    """
+    calibrated = calibrated_cost_model(model if model is not None
+                                       else DEFAULT_COST_MODEL)
+    return int(hint.update_depth) >= calibrated.update_break_even_depth(hint, cap=cap)
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,14 @@ from repro.linalg.batch import (
     psd_factor,
     stacked_principal_submatrices,
 )
+from repro.linalg.updates import (
+    KernelUpdate,
+    cholesky_update,
+    factor_from_eigh,
+    rank_one_eigh_update,
+    rank_one_kernel_update,
+    symmetric_rank_one_terms,
+)
 from repro.linalg.interpolation import (
     vandermonde_solve,
     univariate_coefficients_from_evaluations,
@@ -60,6 +68,12 @@ __all__ = [
     "lowrank_conditioned_gram",
     "psd_factor",
     "stacked_principal_submatrices",
+    "KernelUpdate",
+    "cholesky_update",
+    "factor_from_eigh",
+    "rank_one_eigh_update",
+    "rank_one_kernel_update",
+    "symmetric_rank_one_terms",
     "vandermonde_solve",
     "univariate_coefficients_from_evaluations",
     "multivariate_coefficients_from_evaluations",

@@ -57,6 +57,7 @@ __all__ = [
     "record_fusion", "record_queue_wait", "record_drain",
     "record_batch_counts", "record_intermediate",
     "record_cluster_op", "record_failover",
+    "record_kernel_update", "record_update_delta",
     "register_cache", "register_kernel_registry",
 ]
 
@@ -123,6 +124,20 @@ _CLUSTER_REQUESTS = _REGISTRY.counter(
 _CLUSTER_FAILOVERS = _REGISTRY.counter(
     "repro_cluster_client_failovers_total",
     "Client-side replica failovers")
+_KERNEL_UPDATES = _REGISTRY.counter(
+    "repro_kernel_updates_total",
+    "Incremental kernel updates applied", ("kind", "decision"))
+_UPDATE_DEPTH = _REGISTRY.histogram(
+    "repro_kernel_update_depth",
+    "Fingerprint-chain depth at each applied update", (), SIZE_BUCKETS)
+_UPDATE_SECONDS = _REGISTRY.histogram(
+    "repro_kernel_update_seconds",
+    "Wall time per incremental update (patch or refactorization)",
+    ("decision",), TIME_BUCKETS)
+_UPDATE_DELTA_BYTES = _REGISTRY.histogram(
+    "repro_cluster_update_delta_bytes",
+    "Delta payload bytes shipped per cluster kernel update", (),
+    SIZE_BUCKETS)
 
 # --------------------------------------------------------------------- #
 # singletons & switches
@@ -325,6 +340,31 @@ def record_cluster_op(op: str, seconds: float) -> None:
     _CLUSTER_OP_SECONDS.observe(seconds, op=op)
 
 
+def record_kernel_update(kind: str, decision: str, depth: int,
+                         seconds: Optional[float] = None) -> None:
+    """One incremental kernel update applied by a registry/session.
+
+    ``decision`` ∈ {patched, recomputed}: whether cached artifacts were
+    carried over via the O(n·k)/O(n²) update identities or the planner's
+    break-even policy (or an evicted predecessor) forced a cold
+    refactorization.
+    """
+    if _REGISTRY.enabled:
+        _KERNEL_UPDATES.inc(kind=kind, decision=decision)
+        _UPDATE_DEPTH.observe(float(depth))
+        if seconds is not None:
+            _UPDATE_SECONDS.observe(seconds, decision=decision)
+    if _TRACER.enabled:
+        _TRACER.event("kernel_update", kind=kind, decision=decision,
+                      depth=depth, seconds=seconds)
+
+
+def record_update_delta(nbytes: int) -> None:
+    """Delta payload size of one cluster-shipped kernel update."""
+    if _REGISTRY.enabled:
+        _UPDATE_DELTA_BYTES.observe(float(nbytes))
+
+
 def record_failover(fingerprint: Optional[str] = None) -> None:
     """One client-side replica failover."""
     if _REGISTRY.enabled:
@@ -357,7 +397,8 @@ def _collect_caches() -> List[CollectedMetric]:
     if not caches:
         return []
     totals = {"hits": 0, "misses": 0, "evictions": 0, "size_evictions": 0,
-              "expired": 0, "invalidations": 0}
+              "expired": 0, "invalidations": 0, "update_patched": 0,
+              "update_recomputed": 0}
     entries = 0
     for cache in caches:
         stats = cache.stats

@@ -63,12 +63,21 @@ class OracleCostHint:
         ``matrix_order``-sized kernel rather than the dense matrix: a query
         costs ``n·r² + r^ω`` work (reduce to the ``r x r`` dual Gram, then
         factorize it) instead of ``n^ω``.  ``None`` means dense.
+    update_depth:
+        Length of the incremental-update chain behind this kernel's cached
+        artifacts (``0`` for a cold factorization).  Dense artifacts patched
+        through the secular equation accumulate ``O(ε)`` rounding per patch,
+        so past the break-even depth
+        (:meth:`CalibratedCostModel.update_break_even_depth`) the planner
+        prefers a fresh refactorization — the cumulative patch work has paid
+        for one by then, making the refresh amortized-free.
     """
 
     matrix_order: int
     python_fraction: float = 0.0
     batch_vectorized: bool = True
     rank: Optional[int] = None
+    update_depth: int = 0
 
 
 @dataclass(frozen=True)
@@ -158,6 +167,46 @@ class CalibratedCostModel(CostModel):
             r = max(int(hint.rank), 1)
             return n * r * r + self.determinant_work(r)
         return self.determinant_work(hint.matrix_order)
+
+    # ------------------------------------------------------------------ #
+    # incremental-update pricing (streaming kernels)
+    # ------------------------------------------------------------------ #
+    def update_patch_work(self, hint: OracleCostHint) -> float:
+        """Work units of patching cached artifacts after ONE rank-1 update.
+
+        Dense: the secular eigen-update and Sherman–Morrison kernel patch
+        are ``O(n²)`` apiece (the eigenvector column transform is a matmul,
+        far below ``eigh``'s constant).  Factor-backed: row append/delete on
+        the factor plus recomputing the ``k``-sized artifacts, ``n·r² + r^ω``.
+        """
+        n = float(max(hint.matrix_order, 1))
+        if hint.rank is not None:
+            r = max(int(hint.rank), 1)
+            return n * r * r + self.determinant_work(r)
+        return n * n
+
+    def refactorization_work(self, hint: OracleCostHint) -> float:
+        """Work units of rebuilding the factorization cold after a mutation."""
+        return self._query_flop_unit(hint)
+
+    def update_break_even_depth(self, hint: OracleCostHint, *,
+                                cap: int = 64) -> int:
+        """Update-log depth past which a fresh refactorization is preferred.
+
+        Dense spectra patched through the secular equation accumulate
+        ``O(ε)`` rounding per patch; once the *cumulative* patch work rivals
+        one cold factorization (``≈ n`` patches of ``n²`` against one
+        ``n³``), a refresh is amortized-free and resets the drift, so that
+        ratio — capped at ``cap`` for chain hygiene — is the break-even.
+        Factor-backed patches are *exact* (row append/delete on ``B``), so
+        they never need a drift refresh and run straight to the cap.
+        """
+        limit = max(int(cap), 1)
+        if hint.rank is not None:
+            return limit
+        patch = self.update_patch_work(hint)
+        refactor = self.refactorization_work(hint)
+        return max(1, min(limit, int(refactor / max(patch, 1.0))))
 
     def _python_work(self, hint: OracleCostHint, queries: int) -> float:
         """Work units of the batch's GIL-bound (interpreted Python) lane.

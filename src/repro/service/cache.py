@@ -58,6 +58,11 @@ class CacheStats:
     (``max_bytes``); ``expired`` counts entries reclaimed by the idle ``ttl``
     — the three are tracked separately so operators can tell which limit is
     actually binding.
+
+    ``update_patched`` / ``update_recomputed`` count :meth:`~FactorizationCache.adopt`
+    decisions — incremental kernel updates whose artifacts were patched from
+    the predecessor entry versus rebuilt cold (forced, break-even fallback,
+    or predecessor already evicted).
     """
 
     hits: int = 0
@@ -66,11 +71,15 @@ class CacheStats:
     size_evictions: int = 0
     expired: int = 0
     invalidations: int = 0
+    update_patched: int = 0
+    update_recomputed: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "size_evictions": self.size_evictions,
-                "expired": self.expired, "invalidations": self.invalidations}
+                "expired": self.expired, "invalidations": self.invalidations,
+                "update_patched": self.update_patched,
+                "update_recomputed": self.update_recomputed}
 
 
 class KernelFactorization:
@@ -89,7 +98,10 @@ class KernelFactorization:
     """
 
     #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
-    _GUARDED_BY = {"_lock": ("_values", "_inflight")}
+    _GUARDED_BY = {"_lock": ("_values", "_inflight", "_stats")}
+
+    #: per-artifact counter slots (see :meth:`artifact_stats`)
+    _STAT_FIELDS = ("hits", "misses", "patched", "seeded")
 
     def __init__(self, matrix: np.ndarray, fingerprint: Optional[str] = None):
         a = np.asarray(matrix, dtype=float)
@@ -105,11 +117,19 @@ class KernelFactorization:
         self._lock = threading.Lock()
         self._values: Dict[object, object] = {}
         self._inflight: Dict[object, threading.Event] = {}
+        #: per-artifact-kind [hits, misses, patched, seeded] counters
+        self._stats: Dict[str, List[int]] = {}
+
+    def _bump_locked(self, key: object, event: str) -> None:
+        name = key if isinstance(key, str) else str(key[0])
+        self._stats.setdefault(name, [0, 0, 0, 0])[
+            self._STAT_FIELDS.index(event)] += 1
 
     def _get(self, key: object, compute: Callable[[], object]):
         while True:
             with self._lock:
                 if key in self._values:
+                    self._bump_locked(key, "hits")
                     return self._values[key]
                 waiter = self._inflight.get(key)
                 if waiter is None:
@@ -128,6 +148,7 @@ class KernelFactorization:
                     raise
                 with self._lock:
                     self._values[key] = value
+                    self._bump_locked(key, "misses")
                     del self._inflight[key]
                 waiter.set()
                 return value
@@ -367,7 +388,130 @@ class KernelFactorization:
             if key in self._values:
                 return False
             self._values[key] = array
+            self._bump_locked(key, "seeded")
             return True
+
+    # ------------------------------------------------------------------ #
+    # incremental updates (streaming kernels)
+    # ------------------------------------------------------------------ #
+    def apply_update(self, update, *, matrix: np.ndarray, fingerprint: str,
+                     kind: str) -> "KernelFactorization":
+        """A factorization of the mutated kernel, artifacts patched from here.
+
+        ``matrix`` must be the mutated content (``update.apply`` of this
+        entry's matrix) and ``fingerprint`` its chain fingerprint.  Every
+        artifact *materialized in this entry* is carried over incrementally —
+        secular eigen-update, Sherman–Morrison kernel patch, determinant
+        lemma, ESP rebuild from the patched spectrum (all ``O(n²)``), or for
+        ``lowrank`` entries an exact re-derivation of the ``k``-sized
+        artifacts from the patched factor (``O(n·k²)``) — never a fresh
+        ``O(n³)`` factorization.  Artifacts this entry had not materialized
+        stay lazy in the result.  ``self`` is not modified, so in-flight
+        draws keep consuming the predecessor entry untouched.
+        """
+        from repro.linalg.updates import (factor_from_eigh, rank_one_eigh_update,
+                                          rank_one_kernel_update)
+
+        new = KernelFactorization(matrix, fingerprint=fingerprint)
+        with self._lock:
+            sources = dict(self._values)
+
+        if kind == "lowrank":
+            # the patched factor IS the new matrix; the k-sized artifacts are
+            # recomputed through the very same lazy getters a cold entry runs,
+            # so they are bitwise identical to a cold registration
+            for key in ("lowrank_gram", "lowrank_dual", "lowrank_whitened",
+                        "lowrank_size_distribution"):
+                if key in sources:
+                    getattr(new, key)
+            return new
+
+        terms = ()
+        if update.op == "rank_one" and kind == "symmetric":
+            terms = update.rank_one_terms(kind)
+
+        patched: Dict[object, object] = {}
+        if kind == "symmetric" and "eigh" in sources:
+            lam, vec = sources["eigh"]
+            for z, rho in terms:
+                lam, vec = rank_one_eigh_update(lam, vec, z, rho)
+            floor = float(lam.min(initial=0.0))
+            if floor < -1e-8 * max(1.0, float(np.abs(lam).max(initial=0.0))):
+                raise ValueError(
+                    "rank-1 update drives the ensemble indefinite "
+                    f"(min eigenvalue {floor:.3e}); mutated kernel is not a DPP")
+            lam = np.clip(lam, 0.0, None)
+            patched["eigh"] = (self._freeze(lam), self._freeze(vec))
+            if "eigenvalues" in sources:
+                # cold entries use eigvalsh here (last-ulp different driver);
+                # patched entries derive both spectra from the one patched pair
+                patched["eigenvalues"] = self._freeze(lam)
+            if "esp" in sources or "size_distribution" in sources:
+                esp = elementary_symmetric_polynomials(lam)
+                if "esp" in sources:
+                    patched["esp"] = self._freeze(esp)
+                if "size_distribution" in sources:
+                    total = esp.sum()
+                    if total <= 0:
+                        raise ValueError("ensemble matrix defines a zero measure")
+                    patched["size_distribution"] = self._freeze(esp / total)
+            if "factor" in sources or "factor_gram" in sources:
+                factor = factor_from_eigh(lam, vec)
+                if "factor" in sources:
+                    patched["factor"] = self._freeze(factor)
+                if "factor_gram" in sources:
+                    patched["factor_gram"] = self._freeze(factor.T @ factor)
+
+        if "kernel" in sources and update.op == "rank_one":
+            kernel = sources["kernel"]
+            ratio = 1.0
+            if kind == "symmetric":
+                for z, rho in terms:
+                    kernel, step = rank_one_kernel_update(kernel, z, weight=rho)
+                    ratio *= step
+            else:
+                kernel, step = rank_one_kernel_update(
+                    kernel, update.u, update.u if update.v is None else update.v,
+                    update.weight)
+                ratio = step
+            patched["kernel"] = self._freeze(kernel)
+            if "det_identity_plus" in sources:
+                patched["det_identity_plus"] = float(sources["det_identity_plus"]) * ratio
+        # charpoly memos (minor_sums, nonsym_size_distribution) have no cheap
+        # incremental form — they fall back to lazy recompute on the new entry
+
+        new._install_patched(patched)
+        return new
+
+    @staticmethod
+    def _freeze(value: np.ndarray) -> np.ndarray:
+        out = np.ascontiguousarray(np.asarray(value, dtype=float))
+        if out.base is not None or not out.flags.owndata:
+            out = out.copy()
+        if out.flags.writeable:
+            out.flags.writeable = False
+        return out
+
+    def _install_patched(self, values: Dict[object, object]) -> None:
+        with self._lock:
+            for key, value in values.items():
+                if key not in self._values:
+                    self._values[key] = value
+                    self._bump_locked(key, "patched")
+
+    def artifact_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-artifact-kind counters: hits/misses/patched/seeded.
+
+        ``patched`` counts artifacts installed by :meth:`apply_update`
+        (carried over incrementally), ``seeded`` counts worker write-backs,
+        ``misses`` counts genuine cold computations — the breakdown that
+        makes update-patched vs recomputed artifacts distinguishable in
+        dashboards (surfaced through
+        :meth:`FactorizationCache.cache_info`).
+        """
+        with self._lock:
+            return {name: dict(zip(self._STAT_FIELDS, counts))
+                    for name, counts in sorted(self._stats.items())}
 
     @property
     def nbytes(self) -> int:
@@ -478,6 +622,58 @@ class FactorizationCache:
             return entry
 
     # ------------------------------------------------------------------ #
+    def adopt(self, source_fingerprint: str, update, *, matrix: np.ndarray,
+              fingerprint: str, kind: str, patch: bool = True,
+              ttl: object = _TTL_UNSET) -> Tuple[KernelFactorization, str]:
+        """Entry for an incrementally updated kernel; returns ``(entry, decision)``.
+
+        When ``patch`` is true and the predecessor
+        (``source_fingerprint``) is still cached, its materialized artifacts
+        are carried over via :meth:`KernelFactorization.apply_update`
+        (decision ``"patched"``); otherwise a cold lazy entry is built
+        (``"recomputed"``).  The predecessor entry is deliberately **not**
+        invalidated — in-flight draws against the old epoch keep their warm
+        artifacts, and LRU/TTL pressure reclaims it naturally.  The new
+        entry is inserted with ordinary LRU/byte-budget bookkeeping; patch
+        work runs outside the cache lock.
+        """
+        with self._lock:
+            self._sweep_locked()
+            existing = self._entries.get(fingerprint)
+            if existing is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(fingerprint)
+                self._touch_locked(fingerprint, ttl)
+                self._note_size_locked(fingerprint, existing)
+                self._enforce_byte_budget_locked()
+                return existing, "hit"
+            source = self._entries.get(source_fingerprint) if patch else None
+        if source is not None:
+            entry = source.apply_update(update, matrix=matrix,
+                                        fingerprint=fingerprint, kind=kind)
+            decision = "patched"
+        else:
+            entry = KernelFactorization(matrix, fingerprint=fingerprint)
+            decision = "recomputed"
+        with self._lock:
+            existing = self._entries.get(fingerprint)
+            if existing is not None:
+                return existing, "hit"  # racing adopt of the same update won
+            if decision == "patched":
+                self.stats.update_patched += 1
+            else:
+                self.stats.update_recomputed += 1
+            if self.capacity > 0:
+                self._entries[fingerprint] = entry
+                self._touch_locked(fingerprint, ttl)
+                self._note_size_locked(fingerprint, entry)
+                while len(self._entries) > self.capacity:
+                    self._drop_lru_locked()
+                    self.stats.evictions += 1
+                self._enforce_byte_budget_locked()
+        return entry, decision
+
+    # ------------------------------------------------------------------ #
     # idle-TTL expiry
     # ------------------------------------------------------------------ #
     def _touch_locked(self, key: str, ttl: object = _TTL_UNSET) -> None:
@@ -546,7 +742,14 @@ class FactorizationCache:
             self.stats.size_evictions += 1
 
     def cache_info(self) -> Dict[str, object]:
-        """One-call diagnostic snapshot: bounds, occupancy, and counters."""
+        """One-call diagnostic snapshot: bounds, occupancy, and counters.
+
+        ``"artifacts"`` breaks the counters down per artifact kind
+        (``eigh``, ``factor``, ``lowrank_gram``, ...) with
+        hits/misses/patched/seeded slots aggregated across live entries —
+        the view that distinguishes update-patched artifacts from cold
+        recomputes in dashboards.
+        """
         with self._lock:
             self._sweep_locked()
             entries = list(self._entries.values())
@@ -558,6 +761,14 @@ class FactorizationCache:
                 "nbytes": sum(entry.nbytes for entry in entries),
             }
             info.update(self.stats.as_dict())
+            artifacts: Dict[str, Dict[str, int]] = {}
+            for entry in entries:
+                for name, counts in entry.artifact_stats().items():
+                    slot = artifacts.setdefault(
+                        name, dict.fromkeys(KernelFactorization._STAT_FIELDS, 0))
+                    for event, value in counts.items():
+                        slot[event] += value
+            info["artifacts"] = artifacts
             return info
 
     def invalidate(self, target: Union[str, np.ndarray]) -> bool:

@@ -31,7 +31,8 @@ from repro.dpp.kernels import validate_ensemble
 from repro.service.cache import FactorizationCache
 from repro.utils.fingerprint import kernel_fingerprint, partition_keys
 
-__all__ = ["KERNEL_KINDS", "RegisteredKernel", "KernelRegistry", "kernel_fingerprint"]
+__all__ = ["KERNEL_KINDS", "RegisteredKernel", "UpdateRecord", "KernelRegistry",
+           "kernel_fingerprint", "updated_entry"]
 
 #: distribution families the serving layer understands
 KERNEL_KINDS = ("symmetric", "nonsymmetric", "partition", "lowrank")
@@ -41,9 +42,32 @@ KERNEL_KINDS = ("symmetric", "nonsymmetric", "partition", "lowrank")
 DEFAULT_ANONYMOUS_TTL = 900.0
 
 
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One applied mutation in a kernel's fingerprint chain (metadata only).
+
+    Records the op, the patch-vs-recompute decision taken, the delta payload
+    size, and the chain fingerprint *after* the update — never the update's
+    arrays, so a long-lived entry's log stays O(depth) bytes.
+    """
+
+    op: str
+    decision: str
+    delta_nbytes: int
+    fingerprint: str
+
+
 @dataclass
 class RegisteredKernel:
-    """One named kernel: the matrix, its family, and its content fingerprint."""
+    """One named kernel: the matrix, its family, and its content fingerprint.
+
+    Incrementally updated kernels additionally carry their *chain* identity:
+    ``epoch`` counts applied updates, ``base_fingerprint`` is the content
+    fingerprint the chain started from (stable across updates — the cluster
+    routes by it), and ``update_log`` records each link.  For a cold
+    registration all three are at their defaults and ``fingerprint`` is the
+    content fingerprint itself.
+    """
 
     name: str
     kind: str
@@ -52,10 +76,73 @@ class RegisteredKernel:
     parts: Optional[Tuple[Tuple[int, ...], ...]] = None
     counts: Optional[Tuple[int, ...]] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    epoch: int = 0
+    base_fingerprint: Optional[str] = None
+    update_log: Tuple[UpdateRecord, ...] = ()
 
     @property
     def n(self) -> int:
         return self.matrix.shape[0]
+
+    @property
+    def route_fingerprint(self) -> str:
+        """The placement-stable identity: base of the chain, or self if cold."""
+        return self.base_fingerprint or self.fingerprint
+
+
+def updated_entry(entry: RegisteredKernel, cache: FactorizationCache, update, *,
+                  refactor: object = "auto") -> Tuple[RegisteredKernel, str]:
+    """Apply one :class:`~repro.linalg.updates.KernelUpdate` to ``entry``.
+
+    Returns ``(new_entry, decision)`` where ``decision`` is ``"patched"``
+    (artifacts carried over incrementally from the predecessor's cache
+    entry) or ``"recomputed"`` (cold lazy factorization — forced via
+    ``refactor=True``, chosen by the planner's break-even policy under
+    ``refactor="auto"``, or unavoidable because the predecessor was already
+    evicted).  The new entry's ``fingerprint`` extends the chain
+    (:meth:`KernelUpdate.chained_fingerprint`), its ``epoch`` increments,
+    and the predecessor's cache entry is left warm for in-flight draws.
+
+    This is the core shared by :meth:`KernelRegistry.apply_update`,
+    standalone :class:`~repro.service.session.SamplerSession` updates, and
+    shard nodes applying cluster deltas.
+    """
+    if entry.kind == "partition":
+        raise ValueError("partition kernels do not support incremental updates "
+                         "(their normalizer has no known update identity)")
+    update.validate_for(entry.kind, entry.n)
+    matrix = update.apply(entry.matrix, entry.kind)
+    fingerprint = update.chained_fingerprint(entry.fingerprint)
+    depth = len(entry.update_log) + 1
+    if refactor == "auto":
+        from repro.engine.planner import should_refactorize
+        from repro.pram.cost import OracleCostHint
+
+        hint = OracleCostHint(
+            matrix_order=matrix.shape[0],
+            rank=matrix.shape[1] if entry.kind == "lowrank" else None,
+            update_depth=depth)
+        recompute = should_refactorize(hint)
+    else:
+        recompute = bool(refactor)
+    started = time.perf_counter()
+    fact, decision = cache.adopt(
+        entry.fingerprint, update, matrix=matrix, fingerprint=fingerprint,
+        kind=entry.kind, patch=not recompute)
+    seconds = time.perf_counter() - started
+    if decision == "hit":
+        decision = "patched"  # a racing update of identical content kept it warm
+    record = UpdateRecord(op=update.op, decision=decision,
+                          delta_nbytes=update.delta_nbytes,
+                          fingerprint=fingerprint)
+    new_entry = RegisteredKernel(
+        name=entry.name, kind=entry.kind, matrix=fact.matrix,
+        fingerprint=fingerprint, parts=entry.parts, counts=entry.counts,
+        metadata=dict(entry.metadata), epoch=entry.epoch + 1,
+        base_fingerprint=entry.route_fingerprint,
+        update_log=entry.update_log + (record,))
+    obs.record_kernel_update(entry.kind, decision, depth, seconds)
+    return new_entry, decision
 
 
 @dataclass
@@ -242,6 +329,34 @@ class KernelRegistry:
                         self._invalidate_unshared_locked(entry.fingerprint)
         return entry
 
+    def apply_update(self, name: str, update, *, refactor: object = "auto",
+                     expect_fingerprint: Optional[str] = None) -> RegisteredKernel:
+        """Mutate kernel ``name`` incrementally instead of re-registering.
+
+        Atomically (under the registry lock) replaces the entry with its
+        updated successor — concurrent updates to one name serialize, each
+        seeing the previous chain tip, and lookups never observe a
+        half-applied entry.  ``expect_fingerprint`` (when given) must match
+        the current chain tip or the update is refused — the guard shard
+        nodes use to detect a replica whose chain has diverged from the
+        client's.  The predecessor's cache entry is *not* invalidated:
+        sessions still draining on the old epoch keep their warm artifacts,
+        and LRU/TTL pressure reclaims it.  ``refactor`` is ``"auto"``
+        (planner break-even policy), ``True`` (force a cold rebuild) or
+        ``False`` (force the patch path).
+        """
+        with self._lock:
+            entry = self.get(name)
+            if expect_fingerprint is not None and entry.fingerprint != expect_fingerprint:
+                raise ValueError(
+                    f"kernel {name!r} chain is at {entry.fingerprint[:12]}..., "
+                    f"update expected predecessor {expect_fingerprint[:12]}... "
+                    "(stale or rebased replica)")
+            new_entry, _decision = updated_entry(entry, self.cache, update,
+                                                 refactor=refactor)
+            self._entries[name] = new_entry
+            return new_entry
+
     def unregister(self, name: str) -> bool:
         """Remove ``name``; its cached factorization is invalidated unless
         another registration of identical content still uses it."""
@@ -352,6 +467,8 @@ class KernelRegistry:
             kernels = [
                 {"name": entry.name, "kind": entry.kind, "n": entry.n,
                  "fingerprint": entry.fingerprint,
+                 "base_fingerprint": entry.route_fingerprint,
+                 "epoch": entry.epoch,
                  "ephemeral": name in self._ephemeral}
                 for name, entry in sorted(self._entries.items())
             ]
@@ -381,5 +498,5 @@ class KernelRegistry:
 
         entry = self.acquire(name)
         release = self.is_ephemeral(name)
-        return SamplerSession(entry, self.cache, registry=self if release else None,
+        return SamplerSession(entry, self.cache, registry=self, release=release,
                               **kwargs)

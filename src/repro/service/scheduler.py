@@ -67,6 +67,9 @@ class SampleTicket:
     done: threading.Event = field(default_factory=threading.Event)
     #: when the request entered the queue (drives the queue-wait histogram)
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: the session's kernel epoch at submission time — requests queued before
+    #: and after an incremental update are distinguishable after the drain
+    epoch: Optional[int] = None
 
 
 @dataclass
@@ -339,7 +342,8 @@ class RoundScheduler:
             if seed is None:
                 seed = substream(self._root_seed, index)
             ticket = SampleTicket(index=index, k=k, seed=seed, method=method,
-                                  kwargs=dict(kwargs))
+                                  kwargs=dict(kwargs),
+                                  epoch=getattr(self.session, "epoch", None))
             self._queued.append(ticket)
             return ticket
 

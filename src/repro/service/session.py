@@ -64,15 +64,21 @@ class SamplerSession:
     """
 
     #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
-    _GUARDED_BY = {"_lock": ("_distributions", "_scheduler", "_closed", "samples_served")}
+    _GUARDED_BY = {"_lock": ("_entry", "_distributions", "_scheduler", "_closed",
+                             "samples_served")}
 
     def __init__(self, entry: RegisteredKernel, cache: Optional[FactorizationCache] = None, *,
-                 backend: BackendLike = None, registry=None):
-        self.entry = entry
+                 backend: BackendLike = None, registry=None,
+                 release: Optional[bool] = None):
         self.cache = cache if cache is not None else FactorizationCache()
         self.backend = backend
-        self._registry = registry  # non-None => release entry.name on close
+        self._registry = registry  # non-None => updates route through it
+        # release=None keeps the historical contract (registry => unpin on
+        # close); KernelRegistry.session() passes it explicitly so pinned
+        # (non-ephemeral) sessions can still route updates through the registry.
+        self._release = (registry is not None) if release is None else bool(release)
         self._lock = threading.RLock()
+        self._entry = entry
         self._distributions: Dict[object, SubsetDistribution] = {}
         self._scheduler = None
         self._closed = False
@@ -93,10 +99,12 @@ class SamplerSession:
                 return
             self._closed = True
             registry, self._registry = self._registry, None
+            release = self._release
+            name = self._entry.name
             self._distributions.clear()
             self._scheduler = None
-        if registry is not None:
-            registry.release(self.entry.name)
+        if registry is not None and release:
+            registry.release(name)
 
     @property
     def closed(self) -> bool:
@@ -122,9 +130,29 @@ class SamplerSession:
 
     # ------------------------------------------------------------------ #
     @property
+    def entry(self) -> RegisteredKernel:
+        """The kernel currently served — a consistent snapshot.
+
+        Incremental updates (:meth:`update` / :meth:`append_items` /
+        :meth:`delete_items` / :meth:`adopt_entry`) swap this atomically;
+        callers needing several coherent reads should snapshot once
+        (``entry = session.entry``) instead of re-reading the property.
+        """
+        with self._lock:
+            return self._entry
+
+    @property
+    def epoch(self) -> int:
+        """How many incremental updates this session's kernel has absorbed."""
+        return self.entry.epoch
+
+    def _factorization_for(self, entry: RegisteredKernel) -> KernelFactorization:
+        return self.cache.factorization(entry.matrix, fingerprint=entry.fingerprint)
+
+    @property
     def factorization(self) -> KernelFactorization:
         """The kernel's cached (or, on a cold cache, freshly computed) artifacts."""
-        return self.cache.factorization(self.entry.matrix, fingerprint=self.entry.fingerprint)
+        return self._factorization_for(self.entry)
 
     def warm(self) -> "SamplerSession":
         """Precompute every factorization artifact this kernel's samplers use.
@@ -136,16 +164,17 @@ class SamplerSession:
         session for chaining: ``repro.serve(L).warm()``.
         """
         self._check_open()
+        entry = self.entry
         if self.cache.capacity == 0:
             import warnings
 
             warnings.warn(
-                f"warm() skipped for session on {self.entry.name!r}: the "
+                f"warm() skipped for session on {entry.name!r}: the "
                 "factorization cache has capacity=0 (storage disabled), so "
                 "warmed artifacts could not be retained",
                 RuntimeWarning, stacklevel=2)
             return self
-        self.factorization.warm(self.entry.kind, self.entry.parts, self.entry.counts)
+        self._factorization_for(entry).warm(entry.kind, entry.parts, entry.counts)
         return self
 
     def distribution(self, k: Optional[int] = None) -> SubsetDistribution:
@@ -155,18 +184,36 @@ class SamplerSession:
         once — and attaches the cached factorization artifacts so the first
         query of every request is already warm.
         """
-        if self.entry.kind == "partition" and k is not None and k == sum(self.entry.counts):
+        entry = self.entry
+        return self._distribution_for(entry, k)
+
+    def _distribution_for(self, entry: RegisteredKernel,
+                          k: Optional[int]) -> SubsetDistribution:
+        if entry.kind == "partition" and k is not None and k == sum(entry.counts):
             k = None  # the partition kernel's one (fixed) cardinality
-        key = (self.entry.kind, k)
+        # Keyed by the entry *fingerprint* so a racing draw on the old epoch
+        # cannot repopulate the memo with a stale distribution after an
+        # update cleared it.
+        key = (entry.fingerprint, k)
         with self._lock:
             dist = self._distributions.get(key)
             if dist is None:
-                dist = self._build_distribution(k)
+                dist = self._build_distribution(entry, k)
                 self._distributions[key] = dist
             return dist
 
-    def _build_distribution(self, k: Optional[int]) -> SubsetDistribution:
-        entry, fact = self.entry, self.factorization
+    def _build_distribution(self, entry: RegisteredKernel,
+                            k: Optional[int]) -> SubsetDistribution:
+        fact = self._factorization_for(entry)
+        dist = self._construct_distribution(entry, fact, k)
+        # Planner break-even input: the oracle's cost hints advertise how deep
+        # this kernel's update chain is (see OracleCostHint.update_depth).
+        dist.update_depth = len(entry.update_log)
+        return dist
+
+    def _construct_distribution(self, entry: RegisteredKernel,
+                                fact: KernelFactorization,
+                                k: Optional[int]) -> SubsetDistribution:
         if entry.kind == "symmetric":
             if k is None:
                 return SymmetricDPP(entry.matrix, validate=False).attach_precomputed(
@@ -216,19 +263,27 @@ class SamplerSession:
         sampler's candidate-set β knob (``method="lowrank"`` only).
         """
         self._check_open()
-        method = self._resolve_method(method)
+        # One coherent snapshot per draw: a concurrent update() swaps the
+        # entry atomically, so every draw samples entirely from one epoch.
+        entry = self.entry
+        method = self._resolve_method(method, entry)
         if method == "spectral":
-            result = self._sample_spectral(k, seed, tracker, backend)
+            result = self._sample_spectral(entry, k, seed, tracker, backend)
         elif method == "lowrank":
-            result = self._sample_lowrank(k, seed, tracker, backend, oversample)
+            result = self._sample_lowrank(entry, k, seed, tracker, backend, oversample)
         else:
-            result = self._sample_parallel(k, seed, tracker, backend, delta, config)
+            result = self._sample_parallel(entry, k, seed, tracker, backend, delta, config)
+        if entry.epoch > 0:
+            # Only streamed kernels are tagged — cold registrations keep the
+            # report schema (and fixed-seed goldens) byte-for-byte unchanged.
+            result.report.extra["kernel_epoch"] = float(entry.epoch)
         with self._lock:
             self.samples_served += 1
         return result
 
-    def _resolve_method(self, method: Optional[str]) -> str:
-        kind = self.entry.kind
+    def _resolve_method(self, method: Optional[str],
+                        entry: Optional[RegisteredKernel] = None) -> str:
+        kind = (entry if entry is not None else self.entry).kind
         if method is None:
             if kind == "symmetric":
                 return "spectral"
@@ -243,23 +298,24 @@ class SamplerSession:
         return method
 
     # ------------------------------------------------------------------ #
-    def _sample_spectral(self, k: Optional[int], seed: SeedLike,
-                         tracker: Optional[Tracker],
+    def _sample_spectral(self, entry: RegisteredKernel, k: Optional[int],
+                         seed: SeedLike, tracker: Optional[Tracker],
                          backend: BackendLike = None) -> SampleResult:
-        eigh = self.factorization.eigh_pair
+        eigh = self._factorization_for(entry).eigh_pair
         backend = backend if backend is not None else self.backend
         trk = tracker if tracker is not None else Tracker()
         with use_tracker(trk):
             if k is None:
-                subset = sample_dpp_spectral(self.entry.matrix, seed, validate=False,
+                subset = sample_dpp_spectral(entry.matrix, seed, validate=False,
                                              eigh=eigh, backend=backend)
             else:
-                subset = sample_kdpp_spectral(self.entry.matrix, int(k), seed,
+                subset = sample_kdpp_spectral(entry.matrix, int(k), seed,
                                               validate=False, eigh=eigh, backend=backend)
         return SampleResult(subset=subset, report=SamplerReport.from_tracker(trk))
 
-    def _sample_lowrank(self, k: Optional[int], seed: SeedLike,
-                        tracker: Optional[Tracker], backend: BackendLike,
+    def _sample_lowrank(self, entry: RegisteredKernel, k: Optional[int],
+                        seed: SeedLike, tracker: Optional[Tracker],
+                        backend: BackendLike,
                         oversample: Optional[float]) -> SampleResult:
         """The sublinear intermediate sampler over the cached whitened basis.
 
@@ -268,33 +324,33 @@ class SamplerSession:
         cache supplies the one-time ``O(n·k² + k³)`` whitening, never touches
         the per-sample randomness.
         """
-        whitened = self.factorization.lowrank_whitened
+        whitened = self._factorization_for(entry).lowrank_whitened
         backend = backend if backend is not None else self.backend
         trk = tracker if tracker is not None else Tracker()
         with use_tracker(trk):
             if k is None:
                 subset = sample_dpp_intermediate(
-                    self.entry.matrix, seed, oversample=oversample,
+                    entry.matrix, seed, oversample=oversample,
                     whitened=whitened, backend=backend)
             else:
                 subset = sample_kdpp_intermediate(
-                    self.entry.matrix, int(k), seed, oversample=oversample,
+                    entry.matrix, int(k), seed, oversample=oversample,
                     whitened=whitened, backend=backend)
         return SampleResult(subset=subset, report=SamplerReport.from_tracker(trk))
 
-    def _sample_parallel(self, k: Optional[int], seed: SeedLike,
-                         tracker: Optional[Tracker], backend: BackendLike,
-                         delta: float,
+    def _sample_parallel(self, entry: RegisteredKernel, k: Optional[int],
+                         seed: SeedLike, tracker: Optional[Tracker],
+                         backend: BackendLike, delta: float,
                          config: Optional[Union[BatchedSamplerConfig, EntropicSamplerConfig]]) -> SampleResult:
-        entry = self.entry
         backend = backend if backend is not None else self.backend
         if entry.kind == "partition":
-            return sample_entropic_parallel(self.distribution(k), config, seed,
+            return sample_entropic_parallel(self._distribution_for(entry, k), config, seed,
                                             tracker=tracker, backend=backend)
         if k is None:
-            return self._sample_parallel_unconstrained(seed, tracker, backend, delta, config)
+            return self._sample_parallel_unconstrained(entry, seed, tracker, backend,
+                                                       delta, config)
         if entry.kind == "nonsymmetric":
-            return sample_entropic_parallel(self.distribution(int(k)), config, seed,
+            return sample_entropic_parallel(self._distribution_for(entry, int(k)), config, seed,
                                             tracker=tracker, backend=backend)
         # symmetric / low-rank k-DPP: same driver construction as
         # sample_symmetric_kdpp_parallel, so warm draws replay the cold
@@ -310,17 +366,18 @@ class SamplerSession:
             driver = config
         else:
             driver = kdpp_batched_config(kk, delta)
-        return batched_sample(self.distribution(kk), driver, seed,
+        return batched_sample(self._distribution_for(entry, kk), driver, seed,
                               tracker=tracker, backend=backend)
 
-    def _sample_parallel_unconstrained(self, seed: SeedLike, tracker: Optional[Tracker],
+    def _sample_parallel_unconstrained(self, entry: RegisteredKernel, seed: SeedLike,
+                                       tracker: Optional[Tracker],
                                        backend: BackendLike, delta: float,
                                        config: Optional[Union[BatchedSamplerConfig, EntropicSamplerConfig]]) -> SampleResult:
         """Remark 15 with a cached size distribution: draw ``|S|``, then k-DPP."""
-        fact = self.factorization
-        if self.entry.kind == "symmetric":
+        fact = self._factorization_for(entry)
+        if entry.kind == "symmetric":
             sizes = fact.size_distribution
-        elif self.entry.kind == "lowrank":
+        elif entry.kind == "lowrank":
             sizes = fact.lowrank_size_distribution
         else:
             sizes = fact.nonsym_size_distribution
@@ -331,9 +388,75 @@ class SamplerSession:
                 k = int(rng.choice(sizes.size, p=sizes))
         if k == 0:
             return SampleResult(subset=(), report=SamplerReport.from_tracker(trk))
-        result = self._sample_parallel(k, rng, trk, backend, delta, config)
+        result = self._sample_parallel(entry, k, rng, trk, backend, delta, config)
         result.report.extra["sampled_cardinality"] = float(k)
         return result
+
+    # ------------------------------------------------------------------ #
+    # streaming kernels: incremental updates instead of O(n^3) recompute
+    # ------------------------------------------------------------------ #
+    def update(self, u: np.ndarray, v: Optional[np.ndarray] = None, *,
+               weight: float = 1.0, refactor: object = "auto") -> RegisteredKernel:
+        """Apply a rank-1 kernel update ``L += weight * u v^T`` in place.
+
+        ``v=None`` means the symmetric special case ``L += weight * u u^T``.
+        Cached artifacts are *patched* (secular-equation eigen update,
+        Sherman-Morrison kernel update — :mod:`repro.linalg.updates`) rather
+        than recomputed, until the planner's break-even policy says a full
+        refactorization is cheaper (``refactor="auto"``; pass ``True`` /
+        ``False`` to force either path).  Fixed-seed draws after the update
+        match cold-registering the mutated matrix.  Returns the new entry.
+        """
+        from repro.linalg.updates import KernelUpdate
+
+        return self._apply_update(KernelUpdate.rank_one(u, v, weight=weight),
+                                  refactor=refactor)
+
+    def append_items(self, rows: np.ndarray, *,
+                     refactor: object = "auto") -> RegisteredKernel:
+        """Grow a low-rank kernel's ground set: append factor rows (items)."""
+        from repro.linalg.updates import KernelUpdate
+
+        return self._apply_update(KernelUpdate.append_rows(rows), refactor=refactor)
+
+    def delete_items(self, indices, *, refactor: object = "auto") -> RegisteredKernel:
+        """Shrink a low-rank kernel's ground set: delete factor rows (items)."""
+        from repro.linalg.updates import KernelUpdate
+
+        return self._apply_update(KernelUpdate.delete_rows(indices), refactor=refactor)
+
+    def _apply_update(self, update, *, refactor: object) -> RegisteredKernel:
+        from repro.service.registry import updated_entry
+
+        with self._lock:
+            self._check_open()
+            if self._registry is not None:
+                # Registry-backed: the registry serializes updates per name
+                # and every session on this kernel can adopt the new epoch.
+                entry = self._registry.apply_update(self._entry.name, update,
+                                                    refactor=refactor)
+            else:
+                entry, _decision = updated_entry(self._entry, self.cache, update,
+                                                 refactor=refactor)
+            self._entry = entry
+            self._distributions.clear()
+            return entry
+
+    def adopt_entry(self, entry: RegisteredKernel) -> bool:
+        """Switch this session to an externally updated epoch of its kernel.
+
+        Used by shard nodes whose registry applied a cluster-shipped delta.
+        Refuses (returns ``False``) if ``entry`` is *older* than what the
+        session already serves — a racing adoption must never roll the
+        kernel back.
+        """
+        with self._lock:
+            self._check_open()
+            if entry.epoch < self._entry.epoch:
+                return False
+            self._entry = entry
+            self._distributions.clear()
+            return True
 
     # ------------------------------------------------------------------ #
     # concurrent traffic: delegate to a lazily created RoundScheduler

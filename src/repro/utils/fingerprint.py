@@ -36,6 +36,21 @@ def array_fingerprint(*arrays: np.ndarray, extra: Iterable = ()) -> str:
     return digest.hexdigest()
 
 
+def chain_fingerprint(previous: str, *arrays: np.ndarray,
+                      extra: Iterable = ()) -> str:
+    """Derived fingerprint of a kernel after one incremental update.
+
+    Digests the *predecessor's* fingerprint together with the update's delta
+    payload (arrays + scalar signature) — never the mutated matrix itself.
+    That makes the chain computable by anyone holding the base fingerprint
+    and the update log (e.g. a :class:`~repro.cluster.client.ClusterClient`
+    shipping deltas), while still changing whenever content, update order,
+    or update parameters change.  The ``"chain"`` tag keeps derived keys
+    disjoint from content fingerprints of equal arrays.
+    """
+    return array_fingerprint(*arrays, extra=("chain", previous, *tuple(extra)))
+
+
 def matrix_fingerprint(matrix: np.ndarray, *, kind: str = "matrix",
                        params: Optional[Iterable] = None) -> str:
     """Fingerprint of one kernel matrix tagged with its distribution kind."""

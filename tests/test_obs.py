@@ -427,7 +427,8 @@ class TestStatsRollups:
         assert stats["samples_served"] == 1
         assert set(stats["cache"]) == {"hits", "misses", "evictions",
                                        "size_evictions", "expired",
-                                       "invalidations"}
+                                       "invalidations", "update_patched",
+                                       "update_recomputed"}
 
     def test_scheduler_stats_json(self, small_psd):
         with repro.serve(small_psd, registry=repro.KernelRegistry()) as session:

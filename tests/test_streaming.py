@@ -1,0 +1,370 @@
+"""Streaming kernels end-to-end: incremental updates replace recompute.
+
+The contract under test is byte-identity: after any chain of
+``update()`` / ``append_items()`` / ``delete_items()`` calls, fixed-seed
+draws from the live session equal draws from a *cold* registration of the
+mutated matrix — on every kernel family, sampling method, execution
+backend, through the fused scheduler, and across cluster replicas.  The
+cache must report honest patched-vs-recomputed decisions, the planner's
+break-even policy must flip long chains back to full refactorization, and
+the cluster must ship O(n·k) deltas over a verified fingerprint chain.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import obs
+from repro.cluster import LocalCluster, serve_cluster
+from repro.linalg.updates import KernelUpdate
+from repro.service.registry import KernelRegistry
+from repro.service.session import SamplerSession
+from repro.workloads import random_npsd_ensemble, random_psd_ensemble
+
+SEEDS = [0, 3, 11]
+K = 4
+
+
+@pytest.fixture(scope="module")
+def psd():
+    return random_psd_ensemble(14, seed=5)
+
+
+@pytest.fixture(scope="module")
+def npsd():
+    return random_npsd_ensemble(10, symmetric_scale=1.0, skew_scale=0.5, seed=7)
+
+
+@pytest.fixture(scope="module")
+def factor():
+    rng = np.random.default_rng(9)
+    return rng.standard_normal((24, 4)) / 2.0
+
+
+def _cold(matrix, **kwargs):
+    """A fresh single-node session on an independent registry/cache."""
+    return repro.serve(matrix, registry=KernelRegistry(), **kwargs)
+
+
+def _vectors(n, seed=100):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) / np.sqrt(n), rng.standard_normal(n) / np.sqrt(n)
+
+
+# ---------------------------------------------------------------------- #
+# dense kernels: update == cold re-registration, every method/backend
+# ---------------------------------------------------------------------- #
+class TestDenseUpdateIdentity:
+    @pytest.mark.parametrize("method", ["spectral", "parallel"])
+    @pytest.mark.parametrize("backend", ["serial", "vectorized", "threads"])
+    def test_symmetric_update_matches_cold(self, psd, method, backend):
+        session = _cold(psd)
+        session.sample(k=K, seed=0, method=method)  # warm the artifacts
+        u, _ = _vectors(psd.shape[0])
+        entry = session.update(u, weight=0.4)
+        expected = psd + 0.4 * np.outer(u, u)
+        np.testing.assert_allclose(np.asarray(entry.matrix), expected)
+        cold = _cold(np.asarray(entry.matrix))
+        for seed in SEEDS:
+            assert session.sample(k=K, seed=seed, method=method,
+                                  backend=backend).subset == \
+                cold.sample(k=K, seed=seed, method=method,
+                            backend=backend).subset
+
+    def test_symmetric_uv_update_symmetrizes(self, psd):
+        session = _cold(psd)
+        u, v = _vectors(psd.shape[0], seed=101)
+        entry = session.update(u, v, weight=0.3)
+        expected = psd + 0.3 * 0.5 * (np.outer(u, v) + np.outer(v, u))
+        np.testing.assert_allclose(np.asarray(entry.matrix), expected)
+        cold = _cold(np.asarray(entry.matrix))
+        for seed in SEEDS:
+            assert session.sample(k=K, seed=seed).subset == \
+                cold.sample(k=K, seed=seed).subset
+
+    def test_nonsymmetric_update_matches_cold(self, npsd):
+        session = _cold(npsd, kind="nonsymmetric")
+        session.sample(k=3, seed=0)
+        u, v = _vectors(npsd.shape[0], seed=102)
+        entry = session.update(u, v, weight=0.2)
+        np.testing.assert_allclose(np.asarray(entry.matrix),
+                                   npsd + 0.2 * np.outer(u, v))
+        cold = _cold(np.asarray(entry.matrix), kind="nonsymmetric")
+        for seed in SEEDS:
+            assert session.sample(k=3, seed=seed).subset == \
+                cold.sample(k=3, seed=seed).subset
+
+    def test_update_chain_stays_identical(self, psd):
+        """Several stacked patches must not drift off the cold path."""
+        session = _cold(psd)
+        session.sample(k=K, seed=0)
+        matrix = psd.copy()
+        for step in range(3):
+            u, _ = _vectors(psd.shape[0], seed=200 + step)
+            weight = 0.1 * (step + 1)
+            entry = session.update(u, weight=weight)
+            matrix = matrix + weight * np.outer(u, u)
+        np.testing.assert_allclose(np.asarray(entry.matrix), matrix)
+        cold = _cold(np.asarray(entry.matrix))
+        for seed in SEEDS:
+            assert session.sample(k=K, seed=seed).subset == \
+                cold.sample(k=K, seed=seed).subset
+
+
+# ---------------------------------------------------------------------- #
+# low-rank kernels: append/delete are exact factor edits
+# ---------------------------------------------------------------------- #
+class TestLowRankStreaming:
+    def test_append_and_delete_are_bitwise_exact(self, factor):
+        session = _cold(factor, kind="lowrank")
+        session.sample(k=K, seed=0)
+        rng = np.random.default_rng(13)
+        rows = rng.standard_normal((2, factor.shape[1])) / 2.0
+        entry = session.append_items(rows)
+        grown = np.concatenate([factor, rows], axis=0)
+        assert np.asarray(entry.matrix).tobytes() == grown.tobytes()
+        entry = session.delete_items([0, 5])
+        shrunk = np.delete(grown, [0, 5], axis=0)
+        assert np.asarray(entry.matrix).tobytes() == shrunk.tobytes()
+        cold = _cold(shrunk, kind="lowrank")
+        for seed in SEEDS:
+            assert session.sample(k=K, seed=seed).subset == \
+                cold.sample(k=K, seed=seed).subset
+
+    def test_process_backend_after_update(self, factor):
+        session = _cold(factor, kind="lowrank")
+        rng = np.random.default_rng(17)
+        entry = session.append_items(rng.standard_normal(factor.shape[1]) / 2.0)
+        cold = _cold(np.asarray(entry.matrix), kind="lowrank")
+        assert session.sample(k=K, seed=1, backend="process").subset == \
+            cold.sample(k=K, seed=1, backend="process").subset
+
+
+# ---------------------------------------------------------------------- #
+# epochs: stamped on results and fused tickets
+# ---------------------------------------------------------------------- #
+class TestEpochs:
+    def test_epoch_stamp_only_after_first_update(self, psd):
+        session = _cold(psd)
+        assert "kernel_epoch" not in session.sample(k=K, seed=0).report.extra
+        u, _ = _vectors(psd.shape[0], seed=300)
+        session.update(u, weight=0.1)
+        assert session.epoch == 1
+        assert session.sample(k=K, seed=0).report.extra["kernel_epoch"] == 1.0
+
+    def test_fused_tickets_carry_their_epoch(self, psd):
+        session = _cold(psd)
+        scheduler = session.scheduler(seed=0)
+        before = scheduler.submit(K, seed=1)
+        u, _ = _vectors(psd.shape[0], seed=301)
+        session.update(u, weight=0.2)
+        after = scheduler.submit(K, seed=2)
+        assert before.epoch == 0 and after.epoch == 1
+        results = scheduler.drain()
+        # fused draws run against the *current* epoch, identical to a cold
+        # session on the mutated kernel
+        cold = _cold(np.asarray(session.entry.matrix))
+        assert [r.subset for r in results] == \
+            [cold.sample(k=K, seed=seed, method="parallel").subset
+             for seed in (1, 2)]
+
+    def test_standalone_session_updates_without_registry(self, psd):
+        registry = KernelRegistry()
+        registry.register("solo", psd)
+        session = SamplerSession(registry.get("solo"), registry.cache)
+        u, _ = _vectors(psd.shape[0], seed=302)
+        entry = session.update(u, weight=0.25)
+        assert entry.epoch == 1
+        cold = _cold(np.asarray(entry.matrix))
+        for seed in SEEDS:
+            assert session.sample(k=K, seed=seed).subset == \
+                cold.sample(k=K, seed=seed).subset
+        # the registry never saw the update: it still serves epoch 0
+        assert registry.get("solo").epoch == 0
+
+    def test_adopt_entry_refuses_rollback(self, psd):
+        registry = KernelRegistry()
+        registry.register("roll", psd)
+        session = registry.session("roll")
+        old = session.entry
+        u, _ = _vectors(psd.shape[0], seed=303)
+        session.update(u, weight=0.1)
+        assert session.adopt_entry(old) is False
+        assert session.epoch == 1
+
+
+# ---------------------------------------------------------------------- #
+# cache accounting and the break-even policy
+# ---------------------------------------------------------------------- #
+class TestCacheDecisions:
+    def test_warm_update_is_patched_cold_is_recomputed(self, psd):
+        registry = KernelRegistry()
+        registry.register("acct", psd)
+        session = registry.session("acct")
+        u, _ = _vectors(psd.shape[0], seed=400)
+        # no artifacts warmed yet: nothing to patch, honest "recomputed"
+        entry = registry.apply_update("acct", KernelUpdate.rank_one(u, weight=0.1))
+        assert entry.update_log[-1].decision == "recomputed"
+        session.adopt_entry(entry)
+        session.sample(k=K, seed=0)  # warm this epoch's artifacts
+        entry = registry.apply_update("acct", KernelUpdate.rank_one(u, weight=0.1))
+        assert entry.update_log[-1].decision == "patched"
+        info = registry.cache.cache_info()
+        assert info["update_patched"] >= 1
+        assert info["update_recomputed"] >= 1
+        artifacts = info["artifacts"]
+        assert any(stats["patched"] > 0 for stats in artifacts.values())
+
+    def test_break_even_depth_flips_to_refactorization(self):
+        # n=4 dense: break-even depth is n, so the 4th auto update recomputes
+        psd = random_psd_ensemble(4, seed=1)
+        registry = KernelRegistry()
+        registry.register("tiny", psd)
+        session = registry.session("tiny")
+        decisions = []
+        for step in range(4):
+            session.sample(k=2, seed=0)  # keep each epoch warm
+            u, _ = _vectors(4, seed=500 + step)
+            entry = session.update(u, weight=0.05)
+            decisions.append(entry.update_log[-1].decision)
+        assert decisions[:3] == ["patched"] * 3
+        assert decisions[3] == "recomputed"
+
+    def test_refactor_flag_forces_either_path(self, psd):
+        session = _cold(psd)
+        session.sample(k=K, seed=0)
+        u, _ = _vectors(psd.shape[0], seed=501)
+        forced = session.update(u, weight=0.1, refactor=True)
+        assert forced.update_log[-1].decision == "recomputed"
+        session.sample(k=K, seed=0)
+        patched = session.update(u, weight=0.1, refactor=False)
+        assert patched.update_log[-1].decision == "patched"
+
+    def test_partition_kernels_refuse_updates(self):
+        from repro.workloads import clustered_ensemble
+
+        L, parts = clustered_ensemble([3, 3], within=0.6, across=0.05, seed=2)
+        registry = KernelRegistry()
+        registry.register("parts", L, kind="partition", parts=parts, counts=[1, 1])
+        with pytest.raises(ValueError, match="partition"):
+            registry.apply_update("parts", KernelUpdate.rank_one(np.ones(6)))
+
+    def test_stale_expect_fingerprint_is_refused(self, psd):
+        registry = KernelRegistry()
+        registry.register("guard", psd)
+        u, _ = _vectors(psd.shape[0], seed=502)
+        update = KernelUpdate.rank_one(u, weight=0.1)
+        with pytest.raises(ValueError, match="stale or rebased"):
+            registry.apply_update("guard", update, expect_fingerprint="0" * 64)
+
+
+# ---------------------------------------------------------------------- #
+# cluster: verified fingerprint chain, stable routing, delta shipping
+# ---------------------------------------------------------------------- #
+class TestClusterStreaming:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        with LocalCluster(nodes=3, replication=2) as cluster:
+            yield cluster
+
+    def test_lowrank_stream_matches_single_node(self, cluster, factor):
+        session = serve_cluster(factor, kind="lowrank", cluster=cluster)
+        reference = _cold(factor, kind="lowrank")
+        rng = np.random.default_rng(21)
+        row = rng.standard_normal(factor.shape[1]) / 2.0
+        session.append_items(row)
+        reference.append_items(row)
+        session.delete_items([2])
+        reference.delete_items([2])
+        assert session.epoch == 2
+        for seed in SEEDS:
+            assert session.sample(k=K, seed=seed).subset == \
+                reference.sample(k=K, seed=seed).subset
+
+    def test_dense_update_matches_cold_through_cluster(self, cluster, psd):
+        session = serve_cluster(psd, cluster=cluster, warm=True)
+        u, _ = _vectors(psd.shape[0], seed=600)
+        session.update(u, weight=0.3)
+        cold = _cold(psd + 0.3 * np.outer(u, u))
+        for seed in SEEDS:
+            assert session.sample(k=K, seed=seed).subset == \
+                cold.sample(k=K, seed=seed).subset
+
+    def test_chain_fingerprint_and_routing_are_stable(self, cluster, factor):
+        client = cluster.client()
+        registered = client.register(factor, name="chain-a", kind="lowrank")
+        owners_before = client.owners(registered.route)
+        rng = np.random.default_rng(23)
+        update = KernelUpdate.append_rows(
+            rng.standard_normal((1, factor.shape[1])) / 2.0)
+        expected = update.chained_fingerprint(registered.fingerprint)
+        entry = client.update(registered.name, update)
+        assert entry.fingerprint == expected
+        assert entry.epoch == registered.epoch + 1
+        # routing key is the chain *base*: the kernel never moves mid-stream
+        assert entry.route == registered.route
+        assert client.owners(entry.route) == owners_before
+
+    def test_node_refuses_stale_chain_tip(self, cluster, factor):
+        client = cluster.client()
+        registered = client.register(factor, name="chain-b", kind="lowrank")
+        rng = np.random.default_rng(25)
+        update = KernelUpdate.append_rows(
+            rng.standard_normal((1, factor.shape[1])) / 2.0)
+        owner = client.owners(registered.route)[0]
+        with pytest.raises(ValueError, match="stale or rebased"):
+            client.call_node(owner, {"op": "update", "name": registered.name,
+                                     "update": update, "prev": "0" * 64,
+                                     "refactor": "auto"})
+
+    def test_update_replies_carry_chain_metadata(self, cluster, psd):
+        client = cluster.client()
+        registered = client.register(psd, name="chain-c")
+        u, _ = _vectors(psd.shape[0], seed=601)
+        update = KernelUpdate.rank_one(u, weight=0.1)
+        owner = client.owners(registered.route)[0]
+        info = client.call_node(owner, {"op": "update", "name": registered.name,
+                                        "update": update,
+                                        "prev": registered.fingerprint,
+                                        "refactor": "auto"})
+        assert info["fingerprint"] == update.chained_fingerprint(
+            registered.fingerprint)
+        assert info["base_fingerprint"] == registered.fingerprint
+        assert info["epoch"] == 1
+        assert info["decision"] in ("patched", "recomputed")
+
+
+# ---------------------------------------------------------------------- #
+# observability: update decisions and delta bytes are measured
+# ---------------------------------------------------------------------- #
+class TestStreamingObservability:
+    def test_update_metrics_and_delta_bytes(self, factor):
+        obs.reset()
+        obs.enable()
+        try:
+            with LocalCluster(nodes=2, replication=1) as cluster:
+                session = serve_cluster(factor, kind="lowrank", cluster=cluster)
+                rng = np.random.default_rng(27)
+                session.append_items(rng.standard_normal(factor.shape[1]) / 2.0)
+            counter = obs.registry().counter(
+                "repro_kernel_updates_total", "", labelnames=("kind", "decision"))
+            total = sum(counter.value(kind="lowrank", decision=decision)
+                        for decision in ("patched", "recomputed"))
+            assert total >= 1.0
+            metrics = obs.snapshot()["metrics"]["metrics"]
+            assert "repro_kernel_update_depth" in metrics
+            assert "repro_cluster_update_delta_bytes" in metrics
+        finally:
+            obs.reset()
+            obs.disable()
+
+    def test_session_stats_count_update_decisions(self, psd):
+        registry = KernelRegistry()
+        registry.register("stats", psd)
+        session = registry.session("stats")
+        session.sample(k=K, seed=0)
+        u, _ = _vectors(psd.shape[0], seed=700)
+        session.update(u, weight=0.1)
+        stats = session.stats
+        assert stats["cache"]["update_patched"] + \
+            stats["cache"]["update_recomputed"] >= 1
