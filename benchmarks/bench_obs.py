@@ -8,14 +8,20 @@ fused-drain workload (one warm session, one :class:`~repro.service.RoundSchedule
 drain of many concurrent requests — the densest hook traffic in the repo):
 
 * **overhead gate** — min-of-``TRIALS`` drain seconds with observability
-  fully enabled (metrics + tracing) must be ≤ ``GATE`` (5%) over the
-  disabled baseline, measured with alternating passes so drift hits both
-  arms equally.
+  fully enabled must be ≤ ``GATE`` (5%) over the disabled baseline, for
+  *both* instrumented arms: metrics + tracing, and the full request-tracing
+  path (tracing + streaming SLO quantiles + armed flight recorder — every
+  request span, queue-wait child, fused-round links and P² updates).
+  Passes alternate so drift hits all arms equally.
 * **determinism pin** — the fused draws are identical with observability
-  off and on (the layer records, never perturbs).
+  off, on, and with the flight recorder armed (the layer records, never
+  perturbs).
 
 One machine-readable JSON line is printed (and written to ``argv[1]`` if
-given): ``PYTHONPATH=src python benchmarks/bench_obs.py [output.json]``.
+given); ``argv[2]``, when given, receives the traced arm's span tree as
+Chrome trace-event JSON (the artifact CI uploads)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [output.json] [chrome.json]
 """
 
 from __future__ import annotations
@@ -54,6 +60,15 @@ def _drain_subsets(session, seeds: List[int]) -> List[tuple]:
     return [result.subset for result in scheduler.drain()]
 
 
+def _enable_tracing_arm() -> None:
+    """The full request-tracing path: spans + SLO quantiles + armed flight.
+
+    The budget is set far above any real drain so arming costs only the
+    per-request comparison, never a capture copy inside the timed region.
+    """
+    obs.enable(trace=True, slo=True, flight_budget=3600.0)
+
+
 def obs_report(n: int = N, rank: int = RANK, requests: int = REQUESTS) -> Dict[str, object]:
     """The benchmark body; returns one JSON-serializable report."""
     matrix = random_psd_ensemble(n, rank=rank, seed=7)
@@ -64,14 +79,17 @@ def obs_report(n: int = N, rank: int = RANK, requests: int = REQUESTS) -> Dict[s
         session.warm()
         _drain_seconds(session, seeds)  # warm-up: JIT-ish caches, pools, BLAS
 
-        # alternate the arms so clock drift and cache luck hit both equally
+        # alternate the arms so clock drift and cache luck hit all equally
         disabled_best = float("inf")
         enabled_best = float("inf")
+        tracing_best = float("inf")
         for _ in range(TRIALS):
             obs.disable()
             disabled_best = min(disabled_best, _drain_seconds(session, seeds))
             obs.enable()
             enabled_best = min(enabled_best, _drain_seconds(session, seeds))
+            _enable_tracing_arm()
+            tracing_best = min(tracing_best, _drain_seconds(session, seeds))
 
         obs.disable()
         baseline = _drain_subsets(session, seeds)
@@ -79,6 +97,12 @@ def obs_report(n: int = N, rank: int = RANK, requests: int = REQUESTS) -> Dict[s
         instrumented = _drain_subsets(session, seeds)
         prometheus_lines = len(obs.render_prometheus().splitlines())
         traced_rounds = len(obs.tracer().spans())
+        obs.reset()
+        _enable_tracing_arm()
+        traced_draws = _drain_subsets(session, seeds)
+        request_spans = len(obs.tracer().request_spans())
+        slo_families = sorted(obs.slo().slo_state()["request_latency"])
+        trace_records = obs.tracer().records()
     obs.reset()
     obs.disable()
 
@@ -87,26 +111,42 @@ def obs_report(n: int = N, rank: int = RANK, requests: int = REQUESTS) -> Dict[s
         "n": n, "rank": rank, "k": K, "requests": requests, "trials": TRIALS,
         "disabled_seconds": disabled_best,
         "enabled_seconds": enabled_best,
+        "tracing_seconds": tracing_best,
         "overhead_ratio": enabled_best / disabled_best,
+        "tracing_overhead_ratio": tracing_best / disabled_best,
         "gate": GATE,
         "identical_under_obs": instrumented == baseline,
+        "identical_under_tracing": traced_draws == baseline,
         "prometheus_lines": prometheus_lines,
         "traced_rounds": traced_rounds,
+        "request_spans": request_spans,
+        "slo_families": slo_families,
+        "_trace_records": trace_records,  # stripped before emit
     }
 
 
 def _gates(report: Dict[str, object]) -> bool:
     return (report["identical_under_obs"]
+            and report["identical_under_tracing"]
             and report["overhead_ratio"] <= report["gate"]
-            and report["prometheus_lines"] > 0)
+            and report["tracing_overhead_ratio"] <= report["gate"]
+            and report["prometheus_lines"] > 0
+            and report["request_spans"] > 0)
 
 
 def main() -> int:
     result = obs_report()
-    for _ in range(2):  # timing gate: retry pure-noise failures
-        if result["overhead_ratio"] <= GATE:
+    for _ in range(2):  # timing gates: retry pure-noise failures
+        if (result["overhead_ratio"] <= GATE
+                and result["tracing_overhead_ratio"] <= GATE):
             break
         result = obs_report()
+    records = result.pop("_trace_records")
+    if len(sys.argv) > 2:
+        events = obs.dump_chrome_trace(sys.argv[2], records)
+        result["chrome_trace_events"] = events
+        print(f"wrote {events} Chrome trace events to {sys.argv[2]}",
+              file=sys.stderr)
     emit_reports(result, sys.argv[1] if len(sys.argv) > 1 else None)
     return 0 if _gates(result) else 1
 

@@ -47,6 +47,9 @@ LOCK_ORDER: Tuple[Tuple[str, str], ...] = (
     ("Histogram", "_lock"),
     ("Tracer", "_lock"),
     ("ObservedCostFeedback", "_lock"),
+    ("SLOTracker", "_lock"),
+    ("FlightRecorder", "_lock"),
+    ("_IdAllocator", "_lock"),
 )
 
 _RANK: Dict[Tuple[str, str], int] = {key: rank for rank, key in enumerate(LOCK_ORDER)}

@@ -22,13 +22,15 @@ primary would have produced.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
-from repro.cluster.protocol import ClusterError, Connection, NodeUnavailable
+from repro.cluster.protocol import (ClusterError, Connection, NodeUnavailable,
+                                    attach_trace)
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.utils.fingerprint import kernel_fingerprint
 from repro.utils.rng import SeedLike, substream_seed
@@ -121,7 +123,12 @@ class ClusterClient:
             return connection
 
     def call_node(self, node_id: str, request: dict):
-        """One request to one specific node (no failover)."""
+        """One request to one specific node (no failover).
+
+        The active trace context (if any) rides the frame as its optional
+        ``trace`` field so the node can open server-side child spans.
+        """
+        request = attach_trace(request, obs.current_context())
         return self._connection(node_id).request(request)
 
     def owners(self, fingerprint: str) -> Tuple[str, ...]:
@@ -137,18 +144,34 @@ class ClusterClient:
         replica can never produce a different outcome than the primary —
         including byte-identical fixed-seed samples.
         """
+        op = request.get("op", "call") if isinstance(request, dict) else "call"
         last_error: Optional[BaseException] = None
         for position, node_id in enumerate(self.owners(fingerprint)):
+            # one wire span per attempt: a failover leaves its failed hop in
+            # the tree (outcome="failover") next to the replica that answered
+            wire_span = obs.start_span(f"rpc-{op}", category="wire",
+                                       node=node_id, attempt=position)
             try:
-                return self.call_node(node_id, request)
+                with obs.activate(wire_span.context if wire_span is not None
+                                  else None):
+                    value = self.call_node(node_id, request)
             except (NodeUnavailable, KeyError) as exc:
                 # KeyError: the replica exists but never received this kernel
                 # (a join raced the rebalance) — read through to the next one
+                obs.end_span(wire_span, outcome="failover",
+                             error=type(exc).__name__)
                 last_error = exc
                 if position + 1 < len(self.owners(fingerprint)):
                     with self._lock:
                         self.failovers += 1
                     obs.record_failover(fingerprint)
+            except BaseException as exc:  # genuine remote error: no failover
+                obs.end_span(wire_span, outcome="error",
+                             error=type(exc).__name__)
+                raise
+            else:
+                obs.end_span(wire_span, outcome="ok")
+                return value
         if isinstance(last_error, KeyError):
             raise last_error
         raise ClusterError(
@@ -482,8 +505,8 @@ class ClusterSession:
     """
 
     #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
-    _GUARDED_BY = {"_lock": ("_entry", "_queue", "_submitted", "_closed",
-                             "samples_served")}
+    _GUARDED_BY = {"_lock": ("_entry", "_queue", "_pending_spans",
+                             "_submitted", "_closed", "samples_served")}
 
     def __init__(self, client: ClusterClient, entry: _CatalogEntry, *,
                  scheduler_seed: SeedLike = 0, owned_cluster=None):
@@ -493,6 +516,9 @@ class ClusterSession:
         self._owned_cluster = owned_cluster
         self._lock = threading.Lock()
         self._queue: List[dict] = []
+        #: one ``(span-or-None, submitted_at)`` per queued request, index-
+        #: aligned with ``_queue`` (swapped/restored together by drain)
+        self._pending_spans: List[Tuple[Optional[obs.Span], float]] = []
         self._submitted = 0
         self._closed = False
         self.samples_served = 0
@@ -561,10 +587,12 @@ class ClusterSession:
                 "backend/tracker are node-side concerns in a cluster: set the "
                 "backend on the ShardNode, read reports from the result"
             )
-        result = self._client.call(self.entry.route, {
-            "op": "sample", "name": self.name, "k": k, "seed": _wire_seed(seed),
-            "method": method, "delta": delta,
-        })
+        with obs.request("cluster-sample", family=self.kind, kernel=self.name,
+                         method=method, k=-1 if k is None else int(k)):
+            result = self._client.call(self.entry.route, {
+                "op": "sample", "name": self.name, "k": k,
+                "seed": _wire_seed(seed), "method": method, "delta": delta,
+            })
         with self._lock:
             self.samples_served += 1
         return result
@@ -644,8 +672,20 @@ class ClusterSession:
             self._submitted += 1
             if seed is None:
                 seed = substream_seed(self._root_seed, index)
-            self._queue.append({"k": k, "seed": _wire_seed(seed), "method": method,
-                                "kwargs": dict(kwargs)})
+            queued = {"k": k, "seed": _wire_seed(seed), "method": method,
+                      "kwargs": dict(kwargs)}
+            # each request is born as a trace root here; its context ships
+            # inside the queued dict so the node's drain scheduler parents
+            # the server-side span tree under it (read _entry directly:
+            # the kind/name properties re-acquire this non-reentrant lock)
+            span = obs.start_span("cluster-request", category="request",
+                                  family=self._entry.kind,
+                                  kernel=self._entry.name,
+                                  method=method, index=index)
+            if span is not None:
+                queued["trace"] = span.context.as_wire()
+            self._queue.append(queued)
+            self._pending_spans.append((span, time.perf_counter()))
             return index
 
     @property
@@ -654,22 +694,42 @@ class ClusterSession:
             return len(self._queue)
 
     def drain(self) -> List[object]:
-        """Execute the queued draws as one node-side fused batch."""
+        """Execute the queued draws as one node-side fused batch.
+
+        Tracing: the drain itself runs under one ``cluster-drain`` span
+        **linked** to every queued request's root span (the wire hop and any
+        failover land under it); each request's own span ends here with its
+        queue wait, and its end-to-end latency feeds the per-family SLO
+        stream — one observation per request, exactly like single-node
+        scheduling.
+        """
         self._check_open()
         with self._lock:
             queue, self._queue = self._queue, []
+            pending, self._pending_spans = self._pending_spans, []
         if not queue:
             return []
+        started = time.perf_counter()
+        links = [span.context for span, _ in pending if span is not None]
         try:
-            results = self._client.call(self.entry.route, {
-                "op": "drain", "name": self.name, "requests": queue,
-                "seed": self._root_seed if not isinstance(
-                    self._root_seed, np.random.SeedSequence) else 0,
-            })
+            with obs.span("cluster-drain", category="drain",
+                          links=links or None, requests=len(queue)):
+                results = self._client.call(self.entry.route, {
+                    "op": "drain", "name": self.name, "requests": queue,
+                    "seed": self._root_seed if not isinstance(
+                        self._root_seed, np.random.SeedSequence) else 0,
+                })
         except BaseException:
-            with self._lock:  # failed drains leave the queue intact
+            with self._lock:  # failed drains leave the queue (and spans) intact
                 self._queue = queue + self._queue
+                self._pending_spans = pending + self._pending_spans
             raise
+        finished = time.perf_counter()
+        family = self.kind
+        for span, submitted_at in pending:
+            obs.record_request_latency(family, finished - submitted_at)
+            obs.end_request_span(span, end=finished,
+                                 queue_wait=started - submitted_at)
         with self._lock:
             self.samples_served += len(results)
         return results

@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.cluster.client import ClusterClient, RebalanceReport
 from repro.cluster.node import ShardNode
 from repro.cluster.ring import DEFAULT_VNODES
@@ -121,6 +122,7 @@ class LocalCluster:
         # stop() outside the cluster lock: it joins the node's listener
         # thread, and membership operations must not stall behind that
         node.stop()
+        obs.tracer().event("kill_node", node=str(node_id))
         return node
 
     def forget_node(self, node_id: str) -> RebalanceReport:

@@ -209,11 +209,18 @@ class ShardNode:
     # op dispatch (also the in-process entry point: no sockets required)
     # ------------------------------------------------------------------ #
     def handle(self, request: object):
-        """Execute one request dict and return its value (raises on error)."""
+        """Execute one request dict and return its value (raises on error).
+
+        Frames may carry an optional ``trace`` field (see
+        :mod:`repro.cluster.protocol`): the node then runs the op under a
+        server-side child span of the client's request, so the wire hop and
+        node-side execution land in the same trace tree.
+        """
         if not isinstance(request, dict) or "op" not in request:
             raise ClusterError(f"malformed request: {request!r}")
         args = dict(request)
         op = args.pop("op")
+        trace_context = obs.context_from_wire(args.pop("trace", None))
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise ClusterError(f"unknown op {op!r}")
@@ -221,7 +228,9 @@ class ShardNode:
             self.requests_served += 1
         started = time.perf_counter()
         try:
-            return handler(**args)
+            with obs.span(f"node-{op}", category="node_op",
+                          parent=trace_context, node=self.node_id):
+                return handler(**args)
         finally:
             obs.record_cluster_op(op, time.perf_counter() - started)
 
@@ -301,8 +310,12 @@ class ShardNode:
         session = self._session(name)
         scheduler = RoundScheduler(session, backend=self.backend, seed=seed)
         for request in requests:
+            # each queued request may carry its submitter's trace context;
+            # the drain threads re-activate it so node-side span trees hang
+            # off the client's per-request spans
             scheduler.submit(request.get("k"), seed=request.get("seed"),
                              method=request.get("method", "parallel"),
+                             trace=obs.context_from_wire(request.get("trace")),
                              **request.get("kwargs", {}))
         return scheduler.drain()
 

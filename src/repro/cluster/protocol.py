@@ -9,6 +9,13 @@ deliberately tiny — the cluster layer's interesting behavior (routing,
 replication, rebalance) lives above the wire, and a dict protocol keeps node
 and client versions loosely coupled.
 
+Request frames may carry one optional metadata field: ``"trace"``, the
+``{"trace_id": ..., "span_id": ...}`` wire form of the caller's
+:class:`~repro.obs.context.TraceContext` (see :func:`attach_trace`).  Nodes
+that understand it open server-side child spans under the caller's request;
+nodes (or ops) that don't simply ignore the key — tracing is metadata, never
+behavior, so mixed-version rings stay compatible.
+
 Trust model: pickle is code execution, so this protocol is for nodes and
 clients under one operator on one trust domain (the same stance as
 :mod:`multiprocessing`'s own pickler).  Nodes bind loopback by default.
@@ -32,6 +39,7 @@ __all__ = [
     "RemoteError",
     "send_frame",
     "recv_frame",
+    "attach_trace",
     "Connection",
 ]
 
@@ -59,6 +67,21 @@ class NodeUnavailable(ClusterError):
 
 class RemoteError(ClusterError):
     """The node executed the request and raised; carries the remote detail."""
+
+
+def attach_trace(payload: dict, context) -> dict:
+    """Return ``payload`` with the trace context's wire form attached.
+
+    Copies on write: the caller's dict is never mutated, and an existing
+    ``"trace"`` key (a per-request context inside a fused drain) wins over
+    the ambient one.  ``context`` is a :class:`~repro.obs.context.TraceContext`
+    or ``None`` (no-op).
+    """
+    if context is None or "trace" in payload:
+        return payload
+    tagged = dict(payload)
+    tagged["trace"] = context.as_wire()
+    return tagged
 
 
 def send_frame(sock: socket.socket, obj: object) -> None:

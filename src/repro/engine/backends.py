@@ -97,10 +97,14 @@ class ExecutionBackend(abc.ABC):
     def execute(self, batch: OracleBatch, *, tracker: Optional[Tracker] = None) -> OracleBatchResult:
         """Answer ``batch`` inside one adaptive round of ``tracker``."""
         trk = tracker if tracker is not None else current_tracker()
+        # inside a traced request this round becomes a child span; the
+        # context stays active through _dispatch so the process backend can
+        # ship it to worker chunks (obs.round_context() is None when off)
+        trace_context = obs.round_context()
         start = time.perf_counter()
         with trk.round(batch.label):
             trk.charge(machines=float(batch.n_queries))
-            with use_tracker(trk):
+            with use_tracker(trk), obs.activate(trace_context):
                 values = self._dispatch(batch, trk)
         artifacts: Dict[str, object] = {}
         if isinstance(values, tuple):
@@ -112,7 +116,7 @@ class ExecutionBackend(abc.ABC):
             n_queries=batch.n_queries,
             artifacts=artifacts,
         )
-        obs.record_round(batch, result)
+        obs.record_round(batch, result, context=trace_context)
         return result
 
     def traits(self) -> BackendTraits:
@@ -411,24 +415,36 @@ def _worker_new_arrays(payload: BatchPayload, distribution) -> Dict[str, np.ndar
             if name not in shipped}
 
 
-def _process_worker_run(payload: BatchPayload,
-                        subsets: Sequence) -> Tuple[np.ndarray, float, int, Dict[str, np.ndarray]]:
+def _process_worker_run(payload: BatchPayload, subsets: Sequence,
+                        chunk_index: int = 0,
+                        ) -> Tuple[np.ndarray, float, int,
+                                   Dict[str, np.ndarray],
+                                   Optional[Dict[str, object]]]:
     """Answer one chunk of a shipped batch inside a worker process.
 
     Runs under a private tracker — built from the parent's shipped
     :class:`~repro.pram.cost.CostModel` when one travels with the payload,
     so work parity holds under custom models — and returns ``(values, work,
-    oracle_calls, new_arrays)`` so the parent can merge PRAM accounting
-    exactly like the thread backend merges its child trackers and absorb
-    worker-materialized artifacts (``new_arrays``; empty unless the payload
-    asks with ``want_artifacts``).  Kernels arrive as shared-memory refs and
-    are rebuilt once per process (see :mod:`repro.engine.shm`).
+    oracle_calls, new_arrays, span)`` so the parent can merge PRAM
+    accounting exactly like the thread backend merges its child trackers
+    and absorb worker-materialized artifacts (``new_arrays``; empty unless
+    the payload asks with ``want_artifacts``).  Kernels arrive as
+    shared-memory refs and are rebuilt once per process (see
+    :mod:`repro.engine.shm`).
+
+    ``span`` is a plain dict describing this chunk's execution when the
+    payload carries a trace context (``None`` otherwise): the worker's obs
+    singletons are dark, so the dict rides home with the result and the
+    parent records it.  Span ids are hierarchical
+    (``{round_span}.w{chunk_index}``) — unique without cross-process id
+    coordination, and R1-clean (no wall clock, no randomness).
     """
     from repro.engine.shm import attach_shared_array
 
     chunk = tuple(tuple(s) for s in subsets)
     child = Tracker(payload.cost_model) if payload.cost_model is not None else Tracker()
     new_arrays: Dict[str, np.ndarray] = {}
+    started = time.perf_counter()
     with use_tracker(child):
         if payload.kind == "log_principal_minors":
             matrix = attach_shared_array(payload.matrix)
@@ -441,7 +457,22 @@ def _process_worker_run(payload: BatchPayload,
             values = np.asarray(distribution.counting_batch(list(chunk)), dtype=float)
             if payload.want_artifacts:
                 new_arrays = _worker_new_arrays(payload, distribution)
-    return np.asarray(values, dtype=float), child.work, child.oracle_calls, new_arrays
+    span: Optional[Dict[str, object]] = None
+    if payload.trace is not None:
+        trace_id, parent_span = payload.trace
+        span = {
+            "name": "worker-chunk",
+            "category": "worker_chunk",
+            "trace_id": trace_id,
+            "parent_id": parent_span,
+            "span_id": f"{parent_span}.w{chunk_index}",
+            "start": started,
+            "duration": time.perf_counter() - started,
+            "queries": len(chunk),
+            "pid": os.getpid(),
+        }
+    return (np.asarray(values, dtype=float), child.work, child.oracle_calls,
+            new_arrays, span)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -694,22 +725,31 @@ class ProcessPoolBackend(ExecutionBackend):
         from concurrent.futures.process import BrokenProcessPool
         from dataclasses import replace
 
-        shipped = replace(payload, subsets=())
+        round_context = obs.current_context()
+        if round_context is not None:
+            shipped = replace(payload, subsets=(),
+                              trace=(round_context.trace_id,
+                                     round_context.span_id))
+        else:
+            shipped = replace(payload, subsets=())
         step = self.chunk_size or max(1, int(math.ceil(len(subsets) / self.workers)))
         chunks = [subsets[i:i + step] for i in range(0, len(subsets), step)]
         try:
             pool = self._ensure_pool()
-            futures = [pool.submit(_process_worker_run, shipped, chunk)
-                       for chunk in chunks]
+            futures = [pool.submit(_process_worker_run, shipped, chunk, index)
+                       for index, chunk in enumerate(chunks)]
             parts: List[np.ndarray] = []
             total_work = 0.0
             total_calls = 0
             artifacts: Dict[str, np.ndarray] = {}
+            worker_spans: List[Dict[str, object]] = []
             for future in futures:
-                values, work, oracle_calls, new_arrays = future.result()
+                values, work, oracle_calls, new_arrays, span = future.result()
                 parts.append(values)
                 total_work += work
                 total_calls += oracle_calls
+                if span is not None:
+                    worker_spans.append(span)
                 for name, value in new_arrays.items():
                     artifacts.setdefault(name, value)
         except BrokenProcessPool as exc:
@@ -746,6 +786,8 @@ class ProcessPoolBackend(ExecutionBackend):
         with self._lock:
             self._broken_pools = 0  # a full batch succeeded: reset the budget
         tracker.charge(work=total_work, oracle_calls=total_calls)
+        for span in worker_spans:
+            obs.record_worker_span(span)
         values = np.concatenate(parts) if parts else np.empty(0, dtype=float)
         return values, artifacts
 

@@ -248,6 +248,10 @@ class BatchPayload:
     #: whether workers should return payload arrays they materialize (the
     #: artifact write-back; only meaningful for spec-shipped distributions)
     want_artifacts: bool = False
+    #: ``(trace_id, parent_span_id)`` of the traced engine round shipping
+    #: this payload, so worker chunks can report spans that join the
+    #: request's tree; ``None`` when tracing is off or the round is untraced
+    trace: Optional[Tuple[str, str]] = None
 
     def build_distribution(self, attach: Optional[Callable[[object], np.ndarray]] = None,
                            cache: Optional[Dict[str, object]] = None):

@@ -1,0 +1,137 @@
+"""``python -m repro.obs`` — dump observability state without writing code.
+
+Subcommands:
+
+``snapshot``
+    The full :func:`repro.obs.snapshot` JSON (metrics + trace records +
+    SLO quantiles + flight-recorder census) to stdout or ``--out``.
+``prom``
+    :func:`repro.obs.render_prometheus` text exposition.
+``trace``
+    Chrome trace-event JSON (open in ``chrome://tracing`` / Perfetto) built
+    from the live tracer, a prior ``snapshot`` file (``--in``), or the
+    flight recorder's slowest capture (``--flight``).
+
+Each subcommand accepts ``--demo``: run a small pinned fused-drain workload
+first (tracing + SLO on, flight recorder armed at budget 0 so every request
+captures) so bench scripts and CI can produce real artifacts from a bare
+checkout.  The demo is fully seeded — ids and samples are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import obs
+
+
+def _run_demo() -> None:
+    """A pinned fused-drain workload that exercises every tracing path."""
+    import numpy as np
+
+    import repro
+
+    rng = np.random.default_rng(12345)
+    factor = rng.standard_normal((48, 8))
+    matrix = factor @ factor.T
+    obs.enable(trace=True, slo=True, flight_budget=0.0)
+    session = repro.serve(matrix)
+    try:
+        scheduler = session.scheduler(seed=7)
+        for _ in range(6):
+            scheduler.submit(4)
+        scheduler.drain()
+        session.sample(3, seed=11)
+    finally:
+        session.close()
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out is None:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+        return
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if args.demo:
+        _run_demo()
+    _emit(json.dumps(obs.snapshot(), indent=1, sort_keys=True), args.out)
+    return 0
+
+
+def _cmd_prom(args: argparse.Namespace) -> int:
+    if args.demo:
+        _run_demo()
+    _emit(obs.render_prometheus(), args.out)
+    return 0
+
+
+def _trace_records(args: argparse.Namespace) -> List[dict]:
+    if args.input is not None:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        records = loaded.get("trace", {}).get("records", [])
+        if not isinstance(records, list):
+            raise SystemExit(f"{args.input}: no trace records found")
+        return records
+    if args.flight:
+        captures = obs.flight_recorder().captures()
+        if not captures:
+            raise SystemExit("flight recorder holds no captures")
+        slowest = max(captures, key=lambda entry: entry["duration"])
+        return list(slowest["records"])
+    return obs.tracer().records()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.demo:
+        _run_demo()
+    document = obs.chrome_trace(_trace_records(args))
+    _emit(json.dumps(document, indent=1, sort_keys=True), args.out)
+    if args.out is not None:
+        events = len(document["traceEvents"])
+        sys.stderr.write(f"wrote {events} trace events to {args.out}\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Dump repro observability state (JSON / Prometheus / "
+                    "Chrome trace).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, doc in (
+        ("snapshot", _cmd_snapshot, "full snapshot() JSON"),
+        ("prom", _cmd_prom, "Prometheus text exposition"),
+        ("trace", _cmd_trace, "Chrome trace-event JSON"),
+    ):
+        sub = commands.add_parser(name, help=doc)
+        sub.set_defaults(handler=handler)
+        sub.add_argument("--demo", action="store_true",
+                         help="run the pinned demo workload first "
+                              "(tracing + SLO on, flight recorder armed)")
+        sub.add_argument("--out", default=None,
+                         help="write to this file instead of stdout")
+        if name == "trace":
+            sub.add_argument("--in", dest="input", default=None,
+                             help="read records from a prior snapshot JSON "
+                                  "file instead of the live tracer")
+            sub.add_argument("--flight", action="store_true",
+                             help="export the flight recorder's slowest "
+                                  "capture instead of the live tracer")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

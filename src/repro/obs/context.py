@@ -1,0 +1,158 @@
+"""Deterministic trace-context propagation for request-scoped tracing.
+
+A :class:`TraceContext` names one span's place in one request's tree:
+``trace_id`` (shared by every span of the request), ``span_id`` (this
+span), ``parent_id`` (the enclosing span, ``None`` at the root).  Ids come
+from a process-wide **seeded counter** — never wall-clock time and never
+:mod:`random` — so tracing stays invisible to the R1 determinism lint and
+can never perturb a sampler's randomness.  Cross-process uniqueness (worker
+chunks report spans back from other interpreters) is hierarchical: a worker
+span's id is ``f"{parent_span_id}.w{chunk_index}"``, unique as long as the
+parent id is.
+
+Propagation uses a :class:`~contextvars.ContextVar`: :func:`activate`
+scopes a context to a ``with`` block, :func:`current_context` reads the
+active one.  Thread pools and raw ``threading.Thread`` targets do **not**
+inherit context vars — code that hops threads (the scheduler's per-ticket
+threads, shard-node handlers) re-activates an explicitly carried context,
+and the wire/payload form is the plain dict of :meth:`TraceContext.as_wire`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "current_context",
+    "activate",
+    "context_from_wire",
+    "next_trace_id",
+    "next_span_id",
+    "reset_ids",
+]
+
+
+class _IdAllocator:
+    """Monotone id source: deterministic, seedable, thread-safe."""
+
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_next",)}
+
+    def __init__(self, seed: int = 0):
+        self._lock = threading.Lock()
+        self._next = int(seed)
+
+    def allocate(self, prefix: str) -> str:
+        with self._lock:
+            value = self._next
+            self._next += 1
+        return f"{prefix}{value:08x}"
+
+    def reset(self, seed: int = 0) -> None:
+        with self._lock:
+            self._next = int(seed)
+
+
+_IDS = _IdAllocator()
+
+
+def next_trace_id() -> str:
+    """A fresh ``t........`` trace id from the seeded counter."""
+    return _IDS.allocate("t")
+
+
+def next_span_id() -> str:
+    """A fresh ``s........`` span id from the seeded counter."""
+    return _IDS.allocate("s")
+
+
+def reset_ids(seed: int = 0) -> None:
+    """Rewind the id counter (``repro.obs.reset()`` calls this)."""
+    _IDS.reset(seed)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's identity within one request's trace tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child(self) -> "TraceContext":
+        """A fresh child context under this span."""
+        return TraceContext(trace_id=self.trace_id, span_id=next_span_id(),
+                            parent_id=self.span_id)
+
+    def as_wire(self) -> Dict[str, str]:
+        """JSON/pickle-safe form for protocol frames and worker payloads."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+
+def context_from_wire(payload: object) -> Optional["TraceContext"]:
+    """Rebuild a :class:`TraceContext` from its wire dict (``None``-tolerant).
+
+    The wire form carries no ``parent_id`` — the shipped span *is* the
+    parent of whatever the receiving side opens under it.
+    """
+    if not isinstance(payload, dict):
+        return None
+    trace_id = payload.get("trace_id")
+    span_id = payload.get("span_id")
+    if not isinstance(trace_id, str) or not isinstance(span_id, str):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+@dataclass
+class Span:
+    """A live (not yet recorded) span handle; see ``repro.obs.start_span``.
+
+    Mutable scratch owned by the opening thread until ``end_span`` records
+    it into the tracer — no lock needed.
+    """
+
+    context: TraceContext
+    name: str
+    category: str
+    start: float
+    family: Optional[str] = None
+    links: Optional[List[Dict[str, str]]] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+def new_context(parent: Optional[TraceContext] = None) -> TraceContext:
+    """A child of ``parent``, or a fresh root context when ``parent`` is None."""
+    if parent is not None:
+        return parent.child()
+    return TraceContext(trace_id=next_trace_id(), span_id=next_span_id(),
+                        parent_id=None)
+
+
+_ACTIVE: "ContextVar[Optional[TraceContext]]" = ContextVar(
+    "repro_trace_context", default=None)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The trace context active on this thread/task (``None`` untraced)."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def activate(context: Optional[TraceContext]) -> Iterator[None]:
+    """Scope ``context`` to the block; ``None`` is a no-op (keeps call sites
+    branch-free when tracing is off)."""
+    if context is None:
+        yield
+        return
+    token = _ACTIVE.set(context)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)

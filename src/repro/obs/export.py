@@ -1,0 +1,121 @@
+"""Chrome trace-event export for tracer records and flight captures.
+
+Converts the structured records kept by :class:`repro.obs.trace.Tracer`
+(``type="span"`` request spans and ``type="round"`` engine rounds) into the
+Chrome trace-event JSON format understood by ``chrome://tracing`` and
+Perfetto: a list of ``"X"`` (complete) events with microsecond timestamps.
+
+This module is deliberately pure — it imports nothing from the rest of
+``repro`` (``repro.obs.__init__`` imports *it*), takes record lists as
+arguments, and touches no global state, so it works identically on live
+tracer output, flight-recorder captures, and records loaded back from a
+``snapshot()`` JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["chrome_trace_events", "chrome_trace", "dump_chrome_trace"]
+
+
+def _span_window(record: Dict[str, object]) -> Optional[Dict[str, float]]:
+    """(start, duration) seconds for one record, or ``None`` if undated.
+
+    Spans carry an explicit ``start``/``duration``; round records carry
+    ``monotonic`` (the instant the round *finished*) and ``wall_time``, so
+    their start is reconstructed as ``monotonic - wall_time``.
+    """
+    kind = record.get("type")
+    if kind == "span":
+        start = record.get("start")
+        duration = record.get("duration")
+        if isinstance(start, (int, float)) and isinstance(duration, (int, float)):
+            return {"start": float(start), "duration": float(duration)}
+        end = record.get("monotonic")
+        if isinstance(end, (int, float)) and isinstance(duration, (int, float)):
+            return {"start": float(end) - float(duration),
+                    "duration": float(duration)}
+        return None
+    if kind == "round":
+        end = record.get("monotonic")
+        duration = record.get("wall_time")
+        if isinstance(end, (int, float)) and isinstance(duration, (int, float)):
+            return {"start": float(end) - float(duration),
+                    "duration": float(duration)}
+    return None
+
+
+_ARG_SKIP = frozenset({"type", "monotonic", "start", "duration", "seq"})
+
+
+def chrome_trace_events(records: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Convert tracer records into a list of Chrome ``"X"`` events.
+
+    Timestamps are rebased so the earliest event starts at t=0 and emitted
+    as integer microseconds.  Each distinct ``trace_id`` gets its own
+    ``tid`` lane (first-seen order; untraced rounds share lane 0); ``pid``
+    comes from a record's own ``pid`` field when present (process-pool
+    worker spans) and defaults to 1.
+    """
+    timed: List[Dict[str, object]] = []
+    windows: List[Dict[str, float]] = []
+    for record in records:
+        window = _span_window(record)
+        if window is None:
+            continue
+        timed.append(record)
+        windows.append(window)
+    if not timed:
+        return []
+
+    origin = min(window["start"] for window in windows)
+    lanes: Dict[str, int] = {}
+    events: List[Dict[str, object]] = []
+    for record, window in zip(timed, windows):
+        trace_id = record.get("trace_id")
+        if isinstance(trace_id, str):
+            tid = lanes.setdefault(trace_id, len(lanes) + 1)
+        else:
+            tid = 0
+        pid = record.get("pid")
+        if not isinstance(pid, int):
+            pid = 1
+        if record.get("type") == "round":
+            name = str(record.get("label", "round"))
+            category = "round"
+        else:
+            name = str(record.get("name", "span"))
+            category = str(record.get("category", "span"))
+        args = {key: value for key, value in record.items()
+                if key not in _ARG_SKIP}
+        events.append({
+            "name": name,
+            "cat": category,
+            "ph": "X",
+            "ts": int(round((window["start"] - origin) * 1e6)),
+            "dur": max(1, int(round(window["duration"] * 1e6))),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    events.sort(key=lambda e: (e["ts"], e["tid"]))
+    return events
+
+
+def chrome_trace(records: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """The full Chrome trace document for a record list."""
+    return {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+
+
+def dump_chrome_trace(path: str, records: Iterable[Dict[str, object]]) -> int:
+    """Write a Chrome trace JSON file; returns the number of events."""
+    document = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])  # type: ignore[arg-type]

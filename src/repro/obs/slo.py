@@ -1,0 +1,314 @@
+"""Streaming SLO quantiles and the slow-request flight recorder.
+
+Two pieces, both fed from ``repro.obs`` request accounting:
+
+* :class:`SLOTracker` — per-kernel-family request latency and per-op
+  cluster latency quantiles (p50/p95/p99) via the P² streaming estimator
+  (Jain & Chlamtac 1985): O(1) memory per quantile, deterministic, no
+  randomness, exact for the first four observations.  Exported through
+  ``repro.obs.snapshot()`` and ``render_prometheus()``.
+
+* :class:`FlightRecorder` — a bounded ring of complete span trees captured
+  from requests whose end-to-end latency exceeded a configurable budget.
+  Each capture is the full list of tracer records sharing the slow
+  request's ``trace_id``, ready for :func:`repro.obs.export.chrome_trace`.
+
+Neither module imports the engine/service/cluster layers (same rule as the
+rest of ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["P2Quantile", "SLOTracker", "FlightRecorder", "QUANTILES"]
+
+#: the quantiles every latency stream tracks, as (label, p) pairs
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class P2Quantile:
+    """P² (piecewise-parabolic) streaming estimator for one quantile.
+
+    Five markers track (min, two intermediates, the target quantile,
+    max); marker heights adjust by parabolic interpolation as counts
+    drift from their desired positions.  Until five observations arrive
+    the estimate is the exact order statistic of the sorted sample.
+
+    Not thread-safe on its own — the owning :class:`SLOTracker` serializes
+    access under its lock.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.p = float(p)
+        self._count = 0
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        if self._count <= 5:
+            self._heights.append(value)
+            self._heights.sort()
+            if self._count == 5:
+                p = self.p
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p,
+                                 3.0 + 2.0 * p, 5.0]
+                self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+            return
+
+        h, n = self._heights, self._positions
+        # locate the cell and bump the extreme markers
+        if value < h[0]:
+            h[0] = value
+            cell = 0
+        elif value >= h[4]:
+            h[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= h[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # adjust interior markers toward their desired positions
+        for i in (1, 2, 3):
+            delta = self._desired[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or \
+               (delta <= -1.0 and n[i - 1] - n[i] < -1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> Optional[float]:
+        """Current estimate, or ``None`` before any observation."""
+        if self._count == 0:
+            return None
+        if self._count <= 5:
+            # exact order statistic of the sorted sample (nearest-rank)
+            rank = max(0, min(len(self._heights) - 1,
+                              round(self.p * (len(self._heights) - 1))))
+            return self._heights[rank]
+        return self._heights[2]
+
+
+class _LatencyStream:
+    """One labelled latency stream: count, sum, and the tracked quantiles.
+
+    Guarded by the owning :class:`SLOTracker`'s lock.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.quantiles = {label: P2Quantile(p) for label, p in QUANTILES}
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        for estimator in self.quantiles.values():
+            estimator.observe(seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"count": self.count, "sum": self.total}
+        for label, estimator in self.quantiles.items():
+            value = estimator.value()
+            if value is not None:
+                row[label] = value
+        return row
+
+
+class SLOTracker:
+    """Streaming request/op latency quantiles, keyed by family and op."""
+
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_families", "_ops")}
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._families: Dict[str, _LatencyStream] = {}
+        self._ops: Dict[str, _LatencyStream] = {}
+
+    def observe_request(self, family: str, seconds: float) -> None:
+        """Record one end-to-end request latency for a kernel family."""
+        if not self.enabled:
+            return
+        with self._lock:
+            stream = self._families.setdefault(str(family), _LatencyStream())
+            stream.observe(seconds)
+
+    def observe_op(self, op: str, seconds: float) -> None:
+        """Record one cluster-op latency (``sample``, ``drain``, ...)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            stream = self._ops.setdefault(str(op), _LatencyStream())
+            stream.observe(seconds)
+
+    def slo_state(self) -> Dict[str, object]:
+        """JSON-safe view: per-family and per-op quantile rows."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "request_latency": {name: stream.as_dict()
+                                    for name, stream in self._families.items()},
+                "op_latency": {name: stream.as_dict()
+                               for name, stream in self._ops.items()},
+            }
+
+    def collect(self) -> List[Tuple[str, str, str, List[Tuple[Dict[str, str], float]]]]:
+        """Rows for the Prometheus collector: (name, kind, help, samples)."""
+        with self._lock:
+            families = {name: stream.as_dict()
+                        for name, stream in self._families.items()}
+            ops = {name: stream.as_dict() for name, stream in self._ops.items()}
+        rows: List[Tuple[str, str, str, List[Tuple[Dict[str, str], float]]]] = []
+        for metric, label_key, table, help_text in (
+            ("repro_slo_request_latency_seconds", "family", families,
+             "Streaming request latency quantiles per kernel family (P2)."),
+            ("repro_slo_op_latency_seconds", "op", ops,
+             "Streaming cluster-op latency quantiles (P2)."),
+        ):
+            quantile_samples: List[Tuple[Dict[str, str], float]] = []
+            count_samples: List[Tuple[Dict[str, str], float]] = []
+            for name, row in sorted(table.items()):
+                for q_label, _ in QUANTILES:
+                    if q_label in row:
+                        quantile_samples.append((
+                            {label_key: name, "quantile": q_label},
+                            float(row[q_label])))  # type: ignore[arg-type]
+                count_samples.append(({label_key: name},
+                                      float(row["count"])))  # type: ignore[arg-type]
+            if quantile_samples:
+                rows.append((metric, "gauge", help_text, quantile_samples))
+            if count_samples:
+                rows.append((metric + "_observations_total", "counter",
+                             "Observations feeding the quantile stream.",
+                             count_samples))
+        return rows
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+            self._ops.clear()
+
+
+class FlightRecorder:
+    """Bounded ring of span-tree captures from over-budget requests.
+
+    Armed by setting ``budget`` (seconds); ``None`` disarms.  When a traced
+    root request ends with duration > budget, ``repro.obs`` hands the
+    recorder that request's complete record list (every tracer record with
+    the request's ``trace_id``).  Old captures fall off the left.
+    """
+
+    #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
+    _GUARDED_BY = {"_lock": ("_captures", "_captured_total")}
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = int(capacity)
+        #: latency budget in seconds; ``None`` = disarmed.  Written only
+        #: via ``arm``/``disarm`` under the obs switch lock; reads are a
+        #: single atomic attribute load (same idiom as ``Tracer.enabled``).
+        self.budget: Optional[float] = None
+        self._lock = threading.Lock()
+        self._captures: "deque[Dict[str, object]]" = deque(maxlen=self.capacity)
+        self._captured_total = 0
+
+    def arm(self, budget: float) -> None:
+        """Capture any request slower than ``budget`` seconds (>= 0)."""
+        budget = float(budget)
+        if budget < 0.0:
+            raise ValueError("flight recorder budget must be >= 0")
+        self.budget = budget
+
+    def disarm(self) -> None:
+        self.budget = None
+
+    def capture(self, *, trace_id: str, root_span_id: str, name: str,
+                family: Optional[str], duration: float,
+                records: List[Dict[str, object]]) -> None:
+        """Store one over-budget request's complete span tree."""
+        entry: Dict[str, object] = {
+            "trace_id": str(trace_id),
+            "root_span_id": str(root_span_id),
+            "name": str(name),
+            "family": None if family is None else str(family),
+            "duration": float(duration),
+            "budget": self.budget,
+            "records": [dict(r) for r in records],
+        }
+        with self._lock:
+            self._captured_total += 1
+            self._captures.append(entry)
+
+    def captures(self) -> List[Dict[str, object]]:
+        """All retained captures, oldest first."""
+        with self._lock:
+            return [dict(entry) for entry in self._captures]
+
+    @property
+    def captured_total(self) -> int:
+        """Captures taken since the last ``clear`` (including evicted)."""
+        with self._lock:
+            return self._captured_total
+
+    def flight_state(self) -> Dict[str, object]:
+        """JSON-safe view (capture summaries, not full record lists)."""
+        with self._lock:
+            summaries = [
+                {"trace_id": entry["trace_id"],
+                 "name": entry["name"],
+                 "family": entry["family"],
+                 "duration": entry["duration"],
+                 "records": len(entry["records"])}  # type: ignore[arg-type]
+                for entry in self._captures
+            ]
+            total = self._captured_total
+        return {
+            "armed": self.budget is not None,
+            "budget": self.budget,
+            "capacity": self.capacity,
+            "captured_total": total,
+            "captures": summaries,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._captures.clear()
+            self._captured_total = 0

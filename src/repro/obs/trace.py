@@ -9,7 +9,15 @@ record time.
 
 Like the metrics registry, the tracer is gated by ``enabled`` and costs one
 boolean check per round when off.  The ring buffer bounds memory for
-long-running services: old spans fall off the left.
+long-running services: old spans fall off the left, and ``dropped_spans``
+counts every record lost that way so exports can surface the loss instead
+of silently presenting a truncated history.
+
+PR 10 adds request-scoped records (``type="span"``): named spans carrying a
+``trace_id`` / ``span_id`` / ``parent_id`` from :mod:`repro.obs.context`,
+plus optional span **links** (a fused engine round links back to every
+submitter's request span).  Round records may carry the same id fields when
+executed inside a traced request, making each request one connected tree.
 """
 
 from __future__ import annotations
@@ -28,6 +36,8 @@ def _coerce(value: object) -> object:
         return value
     if isinstance(value, (tuple, list)):
         return [_coerce(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _coerce(v) for k, v in value.items()}
     item = getattr(value, "item", None)  # numpy scalars
     if callable(item):
         try:
@@ -41,7 +51,7 @@ class Tracer:
     """Bounded, thread-safe buffer of per-round spans and discrete events."""
 
     #: concurrency contract, enforced by ``repro.analysis`` (R2 + race harness)
-    _GUARDED_BY = {"_lock": ("_records", "_seq")}
+    _GUARDED_BY = {"_lock": ("_records", "_seq", "_dropped")}
 
     def __init__(self, capacity: int = 1024, enabled: bool = False):
         if capacity < 1:
@@ -51,6 +61,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._records: "deque[Dict[str, object]]" = deque(maxlen=self.capacity)
         self._seq = 0
+        self._dropped = 0
 
     # ------------------------------------------------------------------ #
     # recording
@@ -103,10 +114,50 @@ class Tracer:
             record[field] = _coerce(value)
         self._append(record)
 
+    def record_span(self, *, name: str, category: str,
+                    trace_id: Optional[str] = None,
+                    span_id: Optional[str] = None,
+                    parent_id: Optional[str] = None,
+                    start: Optional[float] = None,
+                    duration: Optional[float] = None,
+                    links: Optional[List[Dict[str, str]]] = None,
+                    **attrs: object) -> None:
+        """Record one completed request-scoped span.
+
+        ``start`` is a ``perf_counter`` instant and ``duration`` seconds;
+        ``links`` are ``{"trace_id": ..., "span_id": ...}`` references to
+        spans in *other* requests (fused-round attribution).
+        """
+        if not self.enabled:
+            return
+        record: Dict[str, object] = {
+            "type": "span",
+            "name": _coerce(name),
+            "category": _coerce(category),
+            "monotonic": time.perf_counter(),
+        }
+        if trace_id is not None:
+            record["trace_id"] = str(trace_id)
+        if span_id is not None:
+            record["span_id"] = str(span_id)
+        if parent_id is not None:
+            record["parent_id"] = str(parent_id)
+        if start is not None:
+            record["start"] = float(start)
+        if duration is not None:
+            record["duration"] = float(duration)
+        if links:
+            record["links"] = [_coerce(dict(link)) for link in links]
+        for field, value in attrs.items():
+            record[field] = _coerce(value)
+        self._append(record)
+
     def _append(self, record: Dict[str, object]) -> None:
         with self._lock:
             self._seq += 1
             record["seq"] = self._seq
+            if len(self._records) == self._records.maxlen:
+                self._dropped += 1
             self._records.append(record)
 
     # ------------------------------------------------------------------ #
@@ -121,6 +172,20 @@ class Tracer:
         """Only the per-round spans."""
         return [r for r in self.records() if r.get("type") == "round"]
 
+    def request_spans(self) -> List[Dict[str, object]]:
+        """Only the request-scoped spans (``type="span"``)."""
+        return [r for r in self.records() if r.get("type") == "span"]
+
+    def trace_tree(self, trace_id: str) -> List[Dict[str, object]]:
+        """Every record belonging to one request's trace, oldest first."""
+        return [r for r in self.records() if r.get("trace_id") == trace_id]
+
+    @property
+    def dropped_spans(self) -> int:
+        """Records lost to ring-buffer overwrite since the last ``clear``."""
+        with self._lock:
+            return self._dropped
+
     def events(self, category: Optional[str] = None) -> List[Dict[str, object]]:
         """Only the discrete events, optionally filtered by category."""
         rows = [r for r in self.records() if r.get("type") == "event"]
@@ -131,6 +196,7 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
+            self._dropped = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -70,6 +70,10 @@ class SampleTicket:
     #: the session's kernel epoch at submission time — requests queued before
     #: and after an incremental update are distinguishable after the drain
     epoch: Optional[int] = None
+    #: trace context captured at submit() time — drain threads do not
+    #: inherit context vars, so the request's trace parent rides the ticket
+    #: (``None`` when tracing is off or the submitter is untraced)
+    trace: Optional[obs.TraceContext] = None
 
 
 @dataclass
@@ -80,6 +84,9 @@ class _PendingExec:
     tracker: Optional[Tracker]
     result: Optional[OracleBatchResult] = None
     error: Optional[BaseException] = None
+    #: the parking request's trace context — the fused round links back to
+    #: every member's request span through these
+    ctx: Optional[obs.TraceContext] = None
 
 
 class _FusionCoordinator:
@@ -109,7 +116,7 @@ class _FusionCoordinator:
         performs the fused execution with the condition released, so parked
         threads (and late finishers) keep making progress.
         """
-        entry = _PendingExec(batch, tracker)
+        entry = _PendingExec(batch, tracker, ctx=obs.current_context())
         with self._cond:
             self._pending.append(entry)
             self.submitted_batches += 1
@@ -178,7 +185,8 @@ class _FusionCoordinator:
             return
         if first.kind == "marginal_vector" or len(group) == 1:
             # identical query (or nothing to merge): one execution, shared
-            shared = self._inner.execute(first, tracker=self._scratch)
+            with self._fused_span(group):
+                shared = self._inner.execute(first, tracker=self._scratch)
             self.executed_batches += 1
             elapsed = time.perf_counter() - start
             for member in group:
@@ -197,7 +205,8 @@ class _FusionCoordinator:
         merged = OracleBatch(kind=first.kind, distribution=first.distribution,
                              matrix=first.matrix, subsets=tuple(subsets),
                              label=f"fused-{first.label}")
-        fused = self._inner.execute(merged, tracker=self._scratch)
+        with self._fused_span(group):
+            fused = self._inner.execute(merged, tracker=self._scratch)
         self.executed_batches += 1
         elapsed = time.perf_counter() - start
         for member, lo, hi in zip(group, offsets[:-1], offsets[1:]):
@@ -225,7 +234,8 @@ class _FusionCoordinator:
                      if first.given else None)
         merged = OracleBatch.projection_step(stacked, eliminate=eliminate,
                                              label=f"fused-{first.label}")
-        fused = self._inner.execute(merged, tracker=self._scratch)
+        with self._fused_span(group):
+            fused = self._inner.execute(merged, tracker=self._scratch)
         self.executed_batches += 1
         elapsed = time.perf_counter() - start
         rows = first.matrix.shape[0]
@@ -237,6 +247,22 @@ class _FusionCoordinator:
                 backend=f"fused({self._inner.name})",
                 wall_time=elapsed, n_queries=rows,
                 artifacts={"bases": [bases[position]]})
+
+    @staticmethod
+    def _fused_span(group: List[_PendingExec]):
+        """Span for one fused execution, **linked** to every member request.
+
+        The leader thread's ambient context (its own request span) parents
+        the fused span — so the engine round executed inside becomes its
+        child — while the links attribute the shared work to every fused
+        request, including requests from *other* trace trees.  A no-op
+        context manager when tracing is off.
+        """
+        first = group[0].batch
+        links = [member.ctx for member in group if member.ctx is not None]
+        return obs.span(f"fused-{first.kind}", category="fused_round",
+                        links=links or None, width=len(group),
+                        kind=first.kind, queries=first.n_queries)
 
     @staticmethod
     def _charge(member: _PendingExec) -> None:
@@ -307,7 +333,9 @@ class RoundScheduler:
 
     # ------------------------------------------------------------------ #
     def submit(self, k: Optional[int] = None, *, seed: SeedLike = None,
-               method: str = "parallel", **kwargs) -> SampleTicket:
+               method: str = "parallel",
+               trace: Optional[obs.TraceContext] = None,
+               **kwargs) -> SampleTicket:
         """Queue one sample request; returns its ticket.
 
         ``method`` selects the sampler family: ``"parallel"`` (the paper's
@@ -318,6 +346,11 @@ class RoundScheduler:
         ``session.sample()`` (e.g. ``config=``, ``delta=``); ``backend`` is
         owned by the scheduler (set ``backend=`` on the scheduler itself)
         and is rejected here rather than failing at drain time.
+
+        ``trace`` is the submitter's trace context — defaults to the one
+        active on the submitting thread (shard nodes pass the context that
+        arrived in the wire frame), and parents the request's span tree at
+        drain time since drain threads do not inherit context vars.
         """
         if "backend" in kwargs:
             raise TypeError(
@@ -336,6 +369,8 @@ class RoundScheduler:
                 f"method='lowrank' requires a LowRankKernel registration, "
                 f"got kind={self.session.entry.kind!r}"
             )
+        if trace is None:
+            trace = obs.current_context()
         with self._lock:
             index = self._submitted
             self._submitted += 1
@@ -343,7 +378,8 @@ class RoundScheduler:
                 seed = substream(self._root_seed, index)
             ticket = SampleTicket(index=index, k=k, seed=seed, method=method,
                                   kwargs=dict(kwargs),
-                                  epoch=getattr(self.session, "epoch", None))
+                                  epoch=getattr(self.session, "epoch", None),
+                                  trace=trace)
             self._queued.append(ticket)
             return ticket
 
@@ -402,11 +438,25 @@ class RoundScheduler:
 
     def _run_one(self, ticket: SampleTicket, coordinator: _FusionCoordinator) -> None:
         try:
-            obs.record_queue_wait(time.perf_counter() - ticket.submitted_at)
+            waited = time.perf_counter() - ticket.submitted_at
+            obs.record_queue_wait(waited)
             proxy = _FusingBackend(coordinator)
-            ticket.result = self.session.sample(
-                ticket.k, seed=ticket.seed, method=ticket.method, backend=proxy,
-                **ticket.kwargs)
+            # re-activate the submit-time context (fresh threads start with
+            # none), then scope the whole execution under a request span
+            # whose start is the *submission* instant — with the queue wait
+            # recorded as a child span, time-in-queue is separable from
+            # execution in the same tree
+            with obs.activate(ticket.trace), \
+                    obs.request("scheduled-request",
+                                family=self.session.entry.kind,
+                                start=ticket.submitted_at,
+                                index=ticket.index, method=ticket.method):
+                queue_span = obs.start_span("queue-wait", category="queue",
+                                            start=ticket.submitted_at)
+                obs.end_span(queue_span, end=ticket.submitted_at + waited)
+                ticket.result = self.session.sample(
+                    ticket.k, seed=ticket.seed, method=ticket.method,
+                    backend=proxy, **ticket.kwargs)
         except BaseException as exc:
             ticket.error = exc
         finally:

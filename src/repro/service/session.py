@@ -267,12 +267,18 @@ class SamplerSession:
         # entry atomically, so every draw samples entirely from one epoch.
         entry = self.entry
         method = self._resolve_method(method, entry)
-        if method == "spectral":
-            result = self._sample_spectral(entry, k, seed, tracker, backend)
-        elif method == "lowrank":
-            result = self._sample_lowrank(entry, k, seed, tracker, backend, oversample)
-        else:
-            result = self._sample_parallel(entry, k, seed, tracker, backend, delta, config)
+        # Request-scoped trace: engine rounds executed below become children
+        # of this span.  When called through a RoundScheduler ticket the
+        # scheduler's request is the root; this nested one records the
+        # per-request execution slice without double-counting SLO latency.
+        with obs.request("sample", family=entry.kind, kernel=entry.name,
+                         method=method, k=-1 if k is None else int(k)):
+            if method == "spectral":
+                result = self._sample_spectral(entry, k, seed, tracker, backend)
+            elif method == "lowrank":
+                result = self._sample_lowrank(entry, k, seed, tracker, backend, oversample)
+            else:
+                result = self._sample_parallel(entry, k, seed, tracker, backend, delta, config)
         if entry.epoch > 0:
             # Only streamed kernels are tagged — cold registrations keep the
             # report schema (and fixed-seed goldens) byte-for-byte unchanged.

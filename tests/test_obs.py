@@ -386,7 +386,7 @@ class TestObsFacade:
         obs.record_fusion(3)
         snap = obs.snapshot()
         json.dumps(snap)
-        assert set(snap) == {"metrics", "trace", "feedback"}
+        assert set(snap) == {"metrics", "trace", "feedback", "slo", "flight"}
         assert snap["metrics"]["enabled"] is True
 
     def test_record_round_populates_metrics_and_trace(self):
